@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: stripe-buffer provisioning (§5.1). The paper pre-allocates
+ * 8 stripe buffers per open logical zone so in-flight partial stripes
+ * never block. This bench varies the buffer count and measures how
+ * often a buffer must be recycled while its stripe is still the most
+ * recent (a proxy for the blocking the paper avoids), plus the memory
+ * cost, under a multi-zone small-write workload.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace raizn;
+using namespace raizn::bench;
+
+int
+main()
+{
+    print_header("Ablation: stripe buffers per open zone");
+    std::printf("%-9s %14s %14s %16s\n", "buffers", "recycles",
+                "pp_logs", "buffer_mem_KiB");
+    for (uint32_t nbuf : {1u, 2u, 4u, 8u, 16u}) {
+        BenchScale scale;
+        scale.data_mode = DataMode::kStore;
+        scale.zones_per_device = 11; // 8 logical zones
+        scale.zone_cap_sectors = 1024;
+        auto arr = [&] {
+            RaiznArray a;
+            a.loop = std::make_unique<EventLoop>();
+            std::vector<BlockDevice *> ptrs;
+            for (uint32_t i = 0; i < scale.num_devices; ++i) {
+                ZnsDeviceConfig cfg;
+                cfg.nzones = scale.zones_per_device;
+                cfg.zone_size = scale.zone_cap_sectors;
+                cfg.data_mode = scale.data_mode;
+                a.devs.push_back(
+                    std::make_unique<ZnsDevice>(a.loop.get(), cfg));
+                ptrs.push_back(a.devs.back().get());
+            }
+            RaiznConfig rcfg;
+            rcfg.stripe_buffers_per_zone = nbuf;
+            auto res = RaiznVolume::create(a.loop.get(), ptrs, rcfg);
+            a.vol = std::move(res).value();
+            return a;
+        }();
+
+        // Interleaved small writes across 4 open zones: many stripes
+        // in flight per zone.
+        RaiznTarget target(arr.vol.get());
+        WorkloadRunner runner(arr.loop.get(), &target);
+        std::vector<JobSpec> jobs;
+        for (uint32_t z = 0; z < 4; ++z) {
+            JobSpec s;
+            s.mode = RwMode::kSeqWrite;
+            s.block_sectors = 4;
+            s.queue_depth = 16;
+            s.region_start = z * arr.vol->zone_capacity();
+            // Half a zone: zones stay open, buffers stay allocated.
+            s.region_len = arr.vol->zone_capacity() / 2;
+            s.seed = z;
+            jobs.push_back(s);
+        }
+        runner.run(jobs);
+        auto fp = arr.vol->memory_footprint();
+        std::printf("%-9u %14llu %14llu %16zu\n", nbuf,
+                    (unsigned long long)arr.vol->stats()
+                        .stripe_buffer_recycles,
+                    (unsigned long long)arr.vol->stats()
+                        .partial_parity_logs,
+                    fp.stripe_buffers / kKiB);
+    }
+    std::printf("\nShape: a stripe buffer is evicted (recycled) once "
+                "the write stream moves `buffers` stripes past it, so "
+                "recycles fall linearly with the buffer count; with "
+                "enough buffers to cover the in-flight write window "
+                "(the paper picks 8), an incomplete stripe is never "
+                "evicted and write processing never blocks, at a "
+                "fixed memory cost per open zone.\n");
+    return 0;
+}

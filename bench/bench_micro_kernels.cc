@@ -1,0 +1,122 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of RAIZN's hot CPU kernels: XOR
+ * parity, partial-parity delta computation, metadata entry
+ * encode/decode, latency histogram insertion, and event-loop dispatch.
+ */
+#include <benchmark/benchmark.h>
+
+#include "common/histogram.h"
+#include "common/rng.h"
+#include "raizn/metadata.h"
+#include "raizn/stripe_buffer.h"
+#include "sim/event_loop.h"
+#include "zns/block_device.h"
+
+namespace raizn {
+namespace {
+
+void
+BM_XorParity64K(benchmark::State &state)
+{
+    std::vector<uint8_t> dst(64 * kKiB, 0xaa);
+    std::vector<uint8_t> src(64 * kKiB, 0x55);
+    for (auto _ : state) {
+        xor_bytes(dst.data(), src.data(), dst.size());
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(dst.size()));
+}
+BENCHMARK(BM_XorParity64K);
+
+void
+BM_FullStripeParity(benchmark::State &state)
+{
+    StripeBuffer buf(4, 16, false);
+    buf.assign(0);
+    auto data = pattern_data(64, 1);
+    buf.fill(0, data.data(), 64);
+    for (auto _ : state) {
+        auto parity = buf.full_parity();
+        benchmark::DoNotOptimize(parity.data());
+    }
+    state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                            64 * kSectorSize);
+}
+BENCHMARK(BM_FullStripeParity);
+
+void
+BM_ParityDelta4K(benchmark::State &state)
+{
+    StripeBuffer buf(4, 16, false);
+    buf.assign(0);
+    auto data = pattern_data(1, 1);
+    buf.fill(0, data.data(), 1);
+    for (auto _ : state) {
+        uint64_t lo, hi;
+        auto delta = buf.parity_delta(0, 1, &lo, &hi);
+        benchmark::DoNotOptimize(delta.data());
+    }
+}
+BENCHMARK(BM_ParityDelta4K);
+
+void
+BM_MdEntryEncode(benchmark::State &state)
+{
+    MdHeader h;
+    h.type = MdType::kPartialParity;
+    h.start_lba = 123;
+    h.end_lba = 456;
+    h.generation = 7;
+    auto payload = pattern_data(16, 9);
+    std::vector<uint8_t> inl(12, 0);
+    for (auto _ : state) {
+        auto bytes = encode_md_entry(h, inl, payload);
+        benchmark::DoNotOptimize(bytes.data());
+    }
+}
+BENCHMARK(BM_MdEntryEncode);
+
+void
+BM_MdEntryDecode(benchmark::State &state)
+{
+    MdHeader h;
+    h.type = MdType::kPartialParity;
+    auto bytes = encode_md_entry(h, std::vector<uint8_t>(12, 0),
+                                 pattern_data(16, 9));
+    for (auto _ : state) {
+        auto entry = decode_md_entry(bytes, 0);
+        benchmark::DoNotOptimize(&entry);
+    }
+}
+BENCHMARK(BM_MdEntryDecode);
+
+void
+BM_HistogramAdd(benchmark::State &state)
+{
+    Histogram h;
+    Rng rng(1);
+    for (auto _ : state)
+        h.add(rng.next_below(1u << 24));
+    benchmark::DoNotOptimize(&h);
+}
+BENCHMARK(BM_HistogramAdd);
+
+void
+BM_EventLoopDispatch(benchmark::State &state)
+{
+    EventLoop loop;
+    uint64_t count = 0;
+    for (auto _ : state) {
+        loop.schedule_after(1, [&count] { count++; });
+        loop.run_events(1);
+    }
+    benchmark::DoNotOptimize(count);
+}
+BENCHMARK(BM_EventLoopDispatch);
+
+} // namespace
+} // namespace raizn
+
+BENCHMARK_MAIN();

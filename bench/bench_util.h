@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches: standard
+ * block-size sweeps, array construction at bench scale, and aligned
+ * table printing.
+ */
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "wkld/runner.h"
+#include "wkld/setup.h"
+#include "wkld/target.h"
+
+namespace raizn::bench {
+
+/// Paper sweep: 4 KiB .. 1 MiB block sizes (in sectors).
+inline const std::vector<uint32_t> kBlockSweep = {1, 4, 16, 64, 256};
+
+/// Stripe-unit sweep of Figs. 7/8: 8..128 KiB (in sectors).
+inline const std::vector<uint32_t> kSuSweep = {2, 4, 8, 16, 32};
+
+inline std::string
+block_label(uint32_t sectors)
+{
+    uint64_t bytes = static_cast<uint64_t>(sectors) * kSectorSize;
+    if (bytes >= kMiB)
+        return std::to_string(bytes / kMiB) + "M";
+    return std::to_string(bytes / kKiB) + "K";
+}
+
+inline void
+print_header(const char *title)
+{
+    std::printf("\n==== %s ====\n", title);
+}
+
+/// io budget per configuration: enough for steady state, cheap to run.
+inline constexpr uint64_t kIosPerJob = 1500;
+
+/// Runs the paper's three §6.1 microbenchmark workloads on a target
+/// and returns (throughput MiB/s, p50 us, p99.9 us).
+struct WorkloadPoint {
+    double mibs = 0;
+    double p50_us = 0;
+    double p999_us = 0;
+};
+
+inline WorkloadPoint
+run_seq(EventLoop *loop, IoTarget *target, RwMode mode, uint32_t bs,
+        uint64_t zone_align)
+{
+    WorkloadRunner runner(loop, target);
+    auto jobs = seq_jobs(mode, bs, 8, 64, target->capacity(), zone_align);
+    for (auto &j : jobs)
+        j.io_limit = kIosPerJob;
+    auto res = runner.run_merged(jobs);
+    return {res.throughput_mibs(),
+            static_cast<double>(res.latency.p50()) / 1e3,
+            static_cast<double>(res.latency.p999()) / 1e3};
+}
+
+inline WorkloadPoint
+run_rand_read(EventLoop *loop, IoTarget *target, uint32_t bs)
+{
+    WorkloadRunner runner(loop, target);
+    JobSpec s = rand_read_job(bs, 256, target->capacity());
+    s.io_limit = 8 * kIosPerJob;
+    auto res = runner.run_merged({s});
+    return {res.throughput_mibs(),
+            static_cast<double>(res.latency.p50()) / 1e3,
+            static_cast<double>(res.latency.p999()) / 1e3};
+}
+
+} // namespace raizn::bench

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Crash-consistency walkthrough: reproduces the paper's Fig. 1
+ * scenario. A stripe is only partially persisted before power loss;
+ * on remount RAIZN detects the stripe hole, repairs it from parity
+ * when possible, and otherwise rolls the zone back and remaps future
+ * conflicting writes into the metadata zone.
+ *
+ *   $ ./build/examples/crash_recovery
+ */
+#include <cstdio>
+
+#include "raizn/volume.h"
+#include "sim/event_loop.h"
+#include "zns/zns_device.h"
+
+using namespace raizn;
+
+namespace {
+
+struct World {
+    std::unique_ptr<EventLoop> loop;
+    std::vector<std::unique_ptr<ZnsDevice>> devices;
+    std::unique_ptr<RaiznVolume> vol;
+
+    void
+    boot()
+    {
+        loop = std::make_unique<EventLoop>();
+        std::vector<BlockDevice *> ptrs;
+        for (int i = 0; i < 5; ++i) {
+            ZnsDeviceConfig cfg;
+            cfg.nzones = 8;
+            cfg.zone_size = 512;
+            cfg.name = "zns" + std::to_string(i);
+            devices.push_back(
+                std::make_unique<ZnsDevice>(loop.get(), cfg));
+            ptrs.push_back(devices.back().get());
+        }
+        auto res = RaiznVolume::create(loop.get(), ptrs, RaiznConfig{});
+        vol = std::move(res).value();
+    }
+
+    /// Power loss: volatile caches drop, host reboots, array remounts.
+    bool
+    crash_and_remount()
+    {
+        for (auto &d : devices)
+            d->power_cut({PowerLossSpec::Policy::kDropCache, 1});
+        vol.reset();
+        loop = std::make_unique<EventLoop>();
+        std::vector<BlockDevice *> ptrs;
+        for (auto &d : devices) {
+            d->reattach(loop.get());
+            ptrs.push_back(d.get());
+        }
+        auto res = RaiznVolume::mount(loop.get(), ptrs);
+        if (!res.is_ok()) {
+            std::printf("mount failed: %s\n",
+                        res.status().to_string().c_str());
+            return false;
+        }
+        vol = std::move(res).value();
+        return true;
+    }
+
+    void
+    write(uint64_t lba, uint32_t n, uint64_t seed, bool fua = false)
+    {
+        bool done = false;
+        WriteFlags flags;
+        flags.fua = fua;
+        vol->write(lba, pattern_data(n, seed), flags,
+                   [&](IoResult r) {
+                       if (!r.status.is_ok())
+                           std::printf("  write@%llu failed: %s\n",
+                                       (unsigned long long)lba,
+                                       r.status.to_string().c_str());
+                       done = true;
+                   });
+        loop->run_until_pred([&] { return done; });
+    }
+
+    bool
+    verify(uint64_t lba, uint32_t n, uint64_t seed)
+    {
+        bool done = false, ok = false;
+        vol->read(lba, n, [&](IoResult r) {
+            ok = r.status.is_ok() && r.data == pattern_data(n, seed);
+            done = true;
+        });
+        loop->run_until_pred([&] { return done; });
+        return ok;
+    }
+};
+
+} // namespace
+
+int
+main()
+{
+    World w;
+    w.boot();
+    std::printf("== Scenario 1: clean crash after flush ==\n");
+    w.write(0, 64, 1);
+    bool done = false;
+    w.vol->flush([&](IoResult) { done = true; });
+    w.loop->run_until_pred([&] { return done; });
+    w.write(64, 64, 2); // never flushed: may vanish
+    if (!w.crash_and_remount())
+        return 1;
+    std::printf("  zone 0 wp after remount: %llu (flushed prefix >= 64)\n",
+                (unsigned long long)w.vol->zone_info(0).value().wp);
+    std::printf("  flushed stripe intact: %s\n",
+                w.verify(0, 64, 1) ? "yes" : "NO");
+
+    std::printf("\n== Scenario 2: stripe hole repaired from parity ==\n");
+    // Write a stripe, flush all devices except one: that device's
+    // stripe unit is lost in the crash, but parity reconstructs it.
+    uint64_t wp = w.vol->zone_info(0).value().wp;
+    w.write(wp, 64, 3);
+    uint32_t victim = w.vol->layout().data_dev(0, wp / 64, 0);
+    for (uint32_t d = 0; d < 5; ++d) {
+        if (d == victim)
+            continue;
+        submit_sync(*w.loop, *w.devices[d], IoRequest::flush());
+    }
+    if (!w.crash_and_remount())
+        return 1;
+    std::printf("  holes repaired in place: %llu\n",
+                (unsigned long long)w.vol->stats()
+                    .holes_repaired_in_place);
+    std::printf("  stripe readable after repair: %s\n",
+                w.verify(wp, 64, 3) ? "yes" : "NO");
+
+    std::printf("\n== Scenario 3: FUA write survives any crash ==\n");
+    wp = w.vol->zone_info(0).value().wp;
+    w.write(wp, 8, 4, /*fua=*/true);
+    if (!w.crash_and_remount())
+        return 1;
+    std::printf("  FUA data intact: %s (wp=%llu)\n",
+                w.verify(wp, 8, 4) ? "yes" : "NO",
+                (unsigned long long)w.vol->zone_info(0).value().wp);
+
+    std::printf("\n== Scenario 4: partial zone reset completed by WAL ==\n");
+    done = false;
+    w.vol->reset_zone(0, [&](IoResult) { done = true; });
+    // Crash mid-reset: run only a few events so some devices reset.
+    w.loop->run_events(8);
+    if (!w.crash_and_remount())
+        return 1;
+    auto zi = w.vol->zone_info(0).value();
+    std::printf("  zone 0 after remount: state=%s wp=%llu "
+                "(reset completed: %s)\n",
+                std::string(to_string(zi.state)).c_str(),
+                (unsigned long long)zi.wp,
+                zi.wp == 0 ? "yes" : "no, data retained");
+    std::printf("  partial resets completed: %llu\n",
+                (unsigned long long)w.vol->stats()
+                    .partial_zone_resets_completed);
+
+    std::printf("\nAll scenarios complete.\n");
+    return 0;
+}

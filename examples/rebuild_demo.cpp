@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Fault-tolerance walkthrough (paper §4.2): a device fails mid-
+ * operation; reads continue degraded by reconstructing from parity;
+ * the device is replaced and RAIZN rebuilds it zone by zone — copying
+ * only valid data — after which redundancy is fully restored.
+ *
+ *   $ ./build/examples/rebuild_demo
+ */
+#include <cstdio>
+
+#include "raizn/volume.h"
+#include "sim/event_loop.h"
+#include "zns/zns_device.h"
+
+using namespace raizn;
+
+int
+main()
+{
+    EventLoop loop;
+    std::vector<std::unique_ptr<ZnsDevice>> devices;
+    std::vector<BlockDevice *> ptrs;
+    for (int i = 0; i < 5; ++i) {
+        ZnsDeviceConfig cfg;
+        cfg.nzones = 19; // 16 logical zones
+        cfg.zone_size = 1024; // 4 MiB
+        cfg.name = "zns" + std::to_string(i);
+        devices.push_back(std::make_unique<ZnsDevice>(&loop, cfg));
+        ptrs.push_back(devices.back().get());
+    }
+    auto res = RaiznVolume::create(&loop, ptrs, RaiznConfig{});
+    auto vol = std::move(res).value();
+
+    auto sync_write = [&](uint64_t lba, uint32_t n, uint64_t seed) {
+        bool done = false;
+        vol->write(lba, pattern_data(n, seed), {},
+                   [&](IoResult) { done = true; });
+        loop.run_until_pred([&] { return done; });
+    };
+    auto verify = [&](uint64_t lba, uint32_t n, uint64_t seed) {
+        bool done = false, ok = false;
+        vol->read(lba, n, [&](IoResult r) {
+            ok = r.status.is_ok() && r.data == pattern_data(n, seed);
+            done = true;
+        });
+        loop.run_until_pred([&] { return done; });
+        return ok;
+    };
+
+    // Fill 4 of 16 zones with data.
+    std::printf("filling 4 of %u logical zones...\n", vol->num_zones());
+    uint64_t zc = vol->zone_capacity();
+    for (uint32_t z = 0; z < 4; ++z) {
+        for (uint64_t off = 0; off < zc; off += 64)
+            sync_write(z * zc + off, 64, z * 1000 + off);
+    }
+    bool done = false;
+    vol->flush([&](IoResult) { done = true; });
+    loop.run_until_pred([&] { return done; });
+
+    // Device 2 dies.
+    std::printf("\ndevice 2 fails\n");
+    vol->mark_device_failed(2);
+    std::printf("degraded read of zone 1: %s\n",
+                verify(zc, 64, 1000) ? "correct (reconstructed)"
+                                     : "WRONG");
+    std::printf("degraded reads so far: %llu\n",
+                (unsigned long long)vol->stats().degraded_reads);
+
+    // Writes still work in degraded mode.
+    std::printf("degraded write to zone 4: ");
+    sync_write(4 * zc, 64, 9999);
+    std::printf("ok; read back %s\n",
+                verify(4 * zc, 64, 9999) ? "correct" : "WRONG");
+
+    // Replace and rebuild.
+    std::printf("\nreplacing device 2 and rebuilding...\n");
+    devices[2]->replace();
+    Tick start = loop.now();
+    done = false;
+    Status st;
+    vol->rebuild_device(
+        2,
+        [&](uint64_t z, uint64_t total) {
+            std::printf("  rebuilt zone %llu/%llu\n",
+                        (unsigned long long)z,
+                        (unsigned long long)total);
+        },
+        [&](Status s) {
+            st = s;
+            done = true;
+        });
+    loop.run_until_pred([&] { return done; });
+    std::printf("rebuild: %s in %.2f ms virtual time "
+                "(%llu stripes; only written zones copied)\n",
+                st.to_string().c_str(),
+                static_cast<double>(loop.now() - start) / kNsPerMs,
+                (unsigned long long)vol->stats().stripes_rebuilt);
+
+    // Redundancy restored: a different device can now fail safely.
+    std::printf("\nfailing device 0 to prove redundancy is back\n");
+    vol->mark_device_failed(0);
+    std::printf("read of zone 0: %s\n",
+                verify(0, 64, 0) ? "correct (reconstructed again)"
+                                 : "WRONG");
+    return 0;
+}

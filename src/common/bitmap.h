@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Simple dynamic bitmap used for persistence bitmaps (RAIZN §5.3) and the
+ * block env's allocation map.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace raizn {
+
+class Bitmap
+{
+  public:
+    Bitmap() = default;
+    explicit Bitmap(size_t bits) : bits_(bits), words_((bits + 63) / 64, 0) {}
+
+    size_t size() const { return bits_; }
+
+    void
+    resize(size_t bits)
+    {
+        bits_ = bits;
+        words_.assign((bits + 63) / 64, 0);
+    }
+
+    bool
+    test(size_t i) const
+    {
+        assert(i < bits_);
+        return (words_[i >> 6] >> (i & 63)) & 1;
+    }
+
+    void
+    set(size_t i)
+    {
+        assert(i < bits_);
+        words_[i >> 6] |= (1ull << (i & 63));
+    }
+
+    void
+    clear(size_t i)
+    {
+        assert(i < bits_);
+        words_[i >> 6] &= ~(1ull << (i & 63));
+    }
+
+    /// Sets bits [lo, hi).
+    void
+    set_range(size_t lo, size_t hi)
+    {
+        for (size_t i = lo; i < hi; ++i)
+            set(i);
+    }
+
+    void
+    clear_all()
+    {
+        std::fill(words_.begin(), words_.end(), 0);
+    }
+
+    /// True iff every bit in [lo, hi) is set.
+    bool
+    all_set(size_t lo, size_t hi) const
+    {
+        for (size_t i = lo; i < hi; ++i) {
+            if (!test(i))
+                return false;
+        }
+        return true;
+    }
+
+    /// Index of first clear bit at or after `from`, or size() if none.
+    size_t
+    find_first_clear(size_t from = 0) const
+    {
+        for (size_t i = from; i < bits_; ++i) {
+            if (!test(i))
+                return i;
+        }
+        return bits_;
+    }
+
+    size_t
+    count_set() const
+    {
+        size_t n = 0;
+        for (uint64_t w : words_)
+            n += static_cast<size_t>(__builtin_popcountll(w));
+        return n;
+    }
+
+  private:
+    size_t bits_ = 0;
+    std::vector<uint64_t> words_;
+};
+
+} // namespace raizn

@@ -1,0 +1,36 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace raizn {
+
+namespace {
+constexpr uint32_t kPoly = 0x82f63b78; // CRC32C reflected polynomial
+
+std::array<uint32_t, 256>
+make_table()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; ++i) {
+        uint32_t crc = i;
+        for (int k = 0; k < 8; ++k)
+            crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+        table[i] = crc;
+    }
+    return table;
+}
+
+const std::array<uint32_t, 256> kTable = make_table();
+} // namespace
+
+uint32_t
+crc32c(const void *data, size_t len, uint32_t seed)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint32_t crc = ~seed;
+    for (size_t i = 0; i < len; ++i)
+        crc = (crc >> 8) ^ kTable[(crc ^ p[i]) & 0xff];
+    return ~crc;
+}
+
+} // namespace raizn

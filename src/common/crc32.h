@@ -1,0 +1,16 @@
+/**
+ * @file
+ * CRC32C (Castagnoli) used to checksum superblocks, metadata log entries,
+ * WAL records, and SSTable blocks.
+ */
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace raizn {
+
+/// CRC32C of `data[0, len)`, continuing from `seed` (0 to start).
+uint32_t crc32c(const void *data, size_t len, uint32_t seed = 0);
+
+} // namespace raizn

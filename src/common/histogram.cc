@@ -1,0 +1,125 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace raizn {
+
+Histogram::Histogram() : buckets_(kRanges * kSubBuckets, 0) {}
+
+int
+Histogram::bucket_index(uint64_t value)
+{
+    // Values below kSubBuckets fall into range 0 linearly.
+    if (value < kSubBuckets)
+        return static_cast<int>(value);
+    int msb = 63 - std::countl_zero(value);
+    int range = msb - kSubBucketBits + 1;
+    if (range >= kRanges)
+        range = kRanges - 1;
+    uint64_t sub = (value >> (range - 1)) - kSubBuckets;
+    assert(sub < kSubBuckets);
+    return range * kSubBuckets + static_cast<int>(sub);
+}
+
+uint64_t
+Histogram::bucket_lower_bound(int index)
+{
+    int range = index / kSubBuckets;
+    uint64_t sub = static_cast<uint64_t>(index % kSubBuckets);
+    if (range == 0)
+        return sub;
+    return (kSubBuckets + sub) << (range - 1);
+}
+
+uint64_t
+Histogram::bucket_upper_bound(int index)
+{
+    int range = index / kSubBuckets;
+    uint64_t sub = static_cast<uint64_t>(index % kSubBuckets);
+    if (range == 0)
+        return sub + 1;
+    return (kSubBuckets + sub + 1) << (range - 1);
+}
+
+void
+Histogram::add(uint64_t value)
+{
+    buckets_[static_cast<size_t>(bucket_index(value))]++;
+    count_++;
+    sum_ += value;
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+}
+
+void
+Histogram::merge(const Histogram &other)
+{
+    for (size_t i = 0; i < buckets_.size(); ++i)
+        buckets_[i] += other.buckets_[i];
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Histogram::clear()
+{
+    std::fill(buckets_.begin(), buckets_.end(), 0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = UINT64_MAX;
+    max_ = 0;
+}
+
+double
+Histogram::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+uint64_t
+Histogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+    if (target >= count_)
+        target = count_ - 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (seen + buckets_[i] > target) {
+            // Interpolate linearly within the bucket.
+            uint64_t lo = bucket_lower_bound(static_cast<int>(i));
+            uint64_t hi = bucket_upper_bound(static_cast<int>(i));
+            double frac = static_cast<double>(target - seen) /
+                static_cast<double>(buckets_[i]);
+            uint64_t v = lo +
+                static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+            return std::clamp(v, min(), max());
+        }
+        seen += buckets_[i];
+    }
+    return max_;
+}
+
+std::string
+Histogram::summary_us() const
+{
+    return strprintf(
+        "n=%llu mean=%.1fus p50=%.1fus p99=%.1fus p99.9=%.1fus max=%.1fus",
+        static_cast<unsigned long long>(count_), mean() / 1e3,
+        static_cast<double>(p50()) / 1e3, static_cast<double>(p99()) / 1e3,
+        static_cast<double>(p999()) / 1e3, static_cast<double>(max()) / 1e3);
+}
+
+} // namespace raizn

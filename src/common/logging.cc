@@ -1,0 +1,66 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+
+namespace raizn {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char *
+level_name(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::kError: return "ERROR";
+      case LogLevel::kWarn: return "WARN";
+      case LogLevel::kInfo: return "INFO";
+      case LogLevel::kDebug: return "DEBUG";
+    }
+    return "?";
+}
+} // namespace
+
+LogLevel
+log_level()
+{
+    return g_level;
+}
+
+void
+set_log_level(LogLevel level)
+{
+    g_level = level;
+}
+
+void
+log_message(LogLevel level, const char *file, int line,
+            const std::string &msg)
+{
+    const char *base = file;
+    for (const char *p = file; *p; ++p) {
+        if (*p == '/')
+            base = p + 1;
+    }
+    std::fprintf(stderr, "[%s %s:%d] %s\n", level_name(level), base, line,
+                 msg.c_str());
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<size_t>(n));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    }
+    va_end(ap2);
+    return out;
+}
+
+} // namespace raizn

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Minimal leveled logger. Quiet by default so tests and benches stay
+ * readable; raise the level for debugging.
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace raizn {
+
+enum class LogLevel : int {
+    kError = 0,
+    kWarn = 1,
+    kInfo = 2,
+    kDebug = 3,
+};
+
+/// Global log threshold; messages above it are dropped.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+void log_message(LogLevel level, const char *file, int line,
+                 const std::string &msg);
+
+/// printf-style formatting into a std::string.
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+} // namespace raizn
+
+#define RAIZN_LOG(level, ...)                                               \
+    do {                                                                    \
+        if (static_cast<int>(level) <=                                      \
+            static_cast<int>(::raizn::log_level())) {                       \
+            ::raizn::log_message(level, __FILE__, __LINE__,                 \
+                                 ::raizn::strprintf(__VA_ARGS__));          \
+        }                                                                   \
+    } while (0)
+
+#define LOG_ERROR(...) RAIZN_LOG(::raizn::LogLevel::kError, __VA_ARGS__)
+#define LOG_WARN(...) RAIZN_LOG(::raizn::LogLevel::kWarn, __VA_ARGS__)
+#define LOG_INFO(...) RAIZN_LOG(::raizn::LogLevel::kInfo, __VA_ARGS__)
+#define LOG_DEBUG(...) RAIZN_LOG(::raizn::LogLevel::kDebug, __VA_ARGS__)
+
+/// Unrecoverable internal invariant violation (a bug, not a user error).
+#define RAIZN_PANIC(...)                                                    \
+    do {                                                                    \
+        ::raizn::log_message(::raizn::LogLevel::kError, __FILE__, __LINE__, \
+                             "PANIC: " + ::raizn::strprintf(__VA_ARGS__));  \
+        std::abort();                                                       \
+    } while (0)

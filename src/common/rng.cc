@@ -1,0 +1,120 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace raizn {
+
+namespace {
+constexpr uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+/// splitmix64 for seeding.
+uint64_t
+splitmix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitmix64(sm);
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::next_below(uint64_t bound)
+{
+    assert(bound > 0);
+    // Lemire's multiply-shift; bias is negligible for our bounds.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(next()) * bound) >> 64);
+}
+
+uint64_t
+Rng::next_range(uint64_t lo, uint64_t hi)
+{
+    assert(lo <= hi);
+    return lo + next_below(hi - lo + 1);
+}
+
+double
+Rng::next_double()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::next_bool(double p)
+{
+    return next_double() < p;
+}
+
+double
+ZipfianGenerator::zeta(uint64_t n, double theta)
+{
+    // Exact up to a cap, then the standard integral approximation; keeps
+    // construction O(1)-ish for very large n.
+    constexpr uint64_t kExactCap = 1 << 20;
+    double sum = 0;
+    uint64_t exact = n < kExactCap ? n : kExactCap;
+    for (uint64_t i = 1; i <= exact; ++i)
+        sum += 1.0 / std::pow(static_cast<double>(i), theta);
+    if (n > exact) {
+        // integral_{exact}^{n} x^-theta dx
+        sum += (std::pow(static_cast<double>(n), 1 - theta) -
+                std::pow(static_cast<double>(exact), 1 - theta)) /
+            (1 - theta);
+    }
+    return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed)
+{
+    assert(n > 0);
+    zetan_ = zeta(n, theta);
+    double zeta2 = zeta(2, theta);
+    alpha_ = 1.0 / (1.0 - theta);
+    eta_ = (1 - std::pow(2.0 / static_cast<double>(n), 1 - theta)) /
+        (1 - zeta2 / zetan_);
+}
+
+uint64_t
+ZipfianGenerator::next()
+{
+    double u = rng_.next_double();
+    double uz = u * zetan_;
+    if (uz < 1.0)
+        return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_))
+        return 1;
+    auto v = static_cast<uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return v >= n_ ? n_ - 1 : v;
+}
+
+} // namespace raizn

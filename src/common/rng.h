@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**) plus the
+ * zipfian generator used by the KV / OLTP workloads. Everything in this
+ * repo seeds explicitly so runs are reproducible.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace raizn {
+
+/// xoshiro256** — fast, high-quality, deterministic across platforms.
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    uint64_t next();
+
+    /// Uniform in [0, bound) — bound must be > 0.
+    uint64_t next_below(uint64_t bound);
+
+    /// Uniform in [lo, hi] inclusive.
+    uint64_t next_range(uint64_t lo, uint64_t hi);
+
+    /// Uniform double in [0, 1).
+    double next_double();
+
+    /// Bernoulli with probability p.
+    bool next_bool(double p);
+
+  private:
+    uint64_t s_[4];
+};
+
+/**
+ * Zipfian distribution over [0, n) with parameter theta, following the
+ * YCSB/Gray et al. rejection-free construction.
+ */
+class ZipfianGenerator
+{
+  public:
+    ZipfianGenerator(uint64_t n, double theta = 0.99,
+                     uint64_t seed = 0x1234);
+
+    uint64_t next();
+    uint64_t n() const { return n_; }
+
+  private:
+    static double zeta(uint64_t n, double theta);
+
+    uint64_t n_;
+    double theta_;
+    double alpha_;
+    double zetan_;
+    double eta_;
+    Rng rng_;
+};
+
+} // namespace raizn

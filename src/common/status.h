@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Lightweight status codes and a Result<T> wrapper used throughout the
+ * repository instead of exceptions.
+ */
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace raizn {
+
+/// Error codes shared by the device, RAID, env, and KV layers.
+enum class StatusCode : uint8_t {
+    kOk = 0,
+    /// Generic media / transport error.
+    kIoError,
+    /// Request parameters are malformed (alignment, range, flags).
+    kInvalidArgument,
+    /// Write is not at the zone write pointer.
+    kWritePointerMismatch,
+    /// IO crosses a zone boundary (ZNS forbids this for writes).
+    kZoneBoundary,
+    /// Zone (or device/volume) is in a read-only state.
+    kReadOnly,
+    /// Zone or device is offline / dead.
+    kOffline,
+    /// Zone is full or device/volume is out of space.
+    kNoSpace,
+    /// Too many open/active zones.
+    kTooManyOpenZones,
+    /// Named entity does not exist.
+    kNotFound,
+    /// Named entity already exists.
+    kAlreadyExists,
+    /// Operation cannot run in the current state.
+    kBusy,
+    /// Data failed checksum / consistency validation.
+    kCorruption,
+    /// Feature intentionally not implemented.
+    kNotSupported,
+};
+
+/// Returns a stable human-readable name for a status code.
+constexpr std::string_view
+to_string(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::kOk: return "OK";
+      case StatusCode::kIoError: return "IO_ERROR";
+      case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+      case StatusCode::kWritePointerMismatch: return "WP_MISMATCH";
+      case StatusCode::kZoneBoundary: return "ZONE_BOUNDARY";
+      case StatusCode::kReadOnly: return "READ_ONLY";
+      case StatusCode::kOffline: return "OFFLINE";
+      case StatusCode::kNoSpace: return "NO_SPACE";
+      case StatusCode::kTooManyOpenZones: return "TOO_MANY_OPEN_ZONES";
+      case StatusCode::kNotFound: return "NOT_FOUND";
+      case StatusCode::kAlreadyExists: return "ALREADY_EXISTS";
+      case StatusCode::kBusy: return "BUSY";
+      case StatusCode::kCorruption: return "CORRUPTION";
+      case StatusCode::kNotSupported: return "NOT_SUPPORTED";
+    }
+    return "UNKNOWN";
+}
+
+/**
+ * Status of an operation: a code plus an optional context message.
+ * Statuses are cheap to copy when OK (no allocation on the fast path).
+ */
+class Status
+{
+  public:
+    Status() = default;
+
+    /*implicit*/ Status(StatusCode code) : code_(code) {}
+
+    Status(StatusCode code, std::string msg)
+        : code_(code), msg_(std::move(msg)) {}
+
+    static Status ok() { return Status(); }
+
+    bool is_ok() const { return code_ == StatusCode::kOk; }
+    explicit operator bool() const { return is_ok(); }
+
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return msg_; }
+
+    /// Formats "CODE: message" for logs and test failure output.
+    std::string
+    to_string() const
+    {
+        std::string s(raizn::to_string(code_));
+        if (!msg_.empty()) {
+            s += ": ";
+            s += msg_;
+        }
+        return s;
+    }
+
+    bool operator==(const Status &o) const { return code_ == o.code_; }
+    bool operator==(StatusCode c) const { return code_ == c; }
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string msg_;
+};
+
+/**
+ * Result<T> couples a Status with a value that is only present on success.
+ * A minimal stand-in for std::expected (not yet in our toolchain's C++20).
+ */
+template <typename T>
+class Result
+{
+  public:
+    /*implicit*/ Result(T value) : value_(std::move(value)) {}
+    /*implicit*/ Result(Status status) : status_(std::move(status))
+    {
+        assert(!status_.is_ok() && "OK Result must carry a value");
+    }
+    /*implicit*/ Result(StatusCode code) : status_(code)
+    {
+        assert(code != StatusCode::kOk && "OK Result must carry a value");
+    }
+
+    bool is_ok() const { return status_.is_ok(); }
+    explicit operator bool() const { return is_ok(); }
+
+    const Status &status() const { return status_; }
+
+    T &value() &
+    {
+        assert(is_ok());
+        return *value_;
+    }
+    const T &value() const &
+    {
+        assert(is_ok());
+        return *value_;
+    }
+    T &&value() &&
+    {
+        assert(is_ok());
+        return std::move(*value_);
+    }
+
+    T
+    value_or(T fallback) const
+    {
+        return is_ok() ? *value_ : std::move(fallback);
+    }
+
+  private:
+    Status status_;
+    std::optional<T> value_;
+};
+
+} // namespace raizn

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Size and time unit helpers. All device code uses 4 KiB sectors and a
+ * virtual clock counted in nanoseconds (Tick).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace raizn {
+
+/// Virtual time in nanoseconds.
+using Tick = uint64_t;
+
+inline constexpr uint64_t kKiB = 1024ull;
+inline constexpr uint64_t kMiB = 1024ull * kKiB;
+inline constexpr uint64_t kGiB = 1024ull * kMiB;
+inline constexpr uint64_t kTiB = 1024ull * kGiB;
+
+/// Fixed logical sector size used by every device in this repo.
+inline constexpr uint32_t kSectorSize = 4096;
+inline constexpr uint32_t kSectorShift = 12;
+
+inline constexpr Tick kNsPerUs = 1000ull;
+inline constexpr Tick kNsPerMs = 1000ull * 1000ull;
+inline constexpr Tick kNsPerSec = 1000ull * 1000ull * 1000ull;
+
+/// Converts a byte count to sectors, asserting alignment in debug builds.
+constexpr uint64_t
+bytes_to_sectors(uint64_t bytes)
+{
+    return bytes >> kSectorShift;
+}
+
+constexpr uint64_t
+sectors_to_bytes(uint64_t sectors)
+{
+    return sectors << kSectorShift;
+}
+
+/// Rounds `v` up to the next multiple of `align` (align > 0).
+constexpr uint64_t
+round_up(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) / align * align;
+}
+
+constexpr uint64_t
+div_ceil(uint64_t a, uint64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/// MiB/s given bytes moved over a tick interval.
+constexpr double
+mib_per_sec(uint64_t bytes, Tick elapsed_ns)
+{
+    if (elapsed_ns == 0)
+        return 0.0;
+    return static_cast<double>(bytes) / static_cast<double>(kMiB) /
+        (static_cast<double>(elapsed_ns) / static_cast<double>(kNsPerSec));
+}
+
+} // namespace raizn

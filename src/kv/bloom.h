@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Bloom filter for SSTable point lookups (~10 bits/key, k=6).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace raizn {
+
+class BloomFilter
+{
+  public:
+    /// Builds a filter sized for `keys` with ~1% false positives.
+    static std::vector<uint8_t>
+    build(const std::vector<std::string> &keys);
+
+    /// Tests membership against a built filter image.
+    static bool may_contain(const std::vector<uint8_t> &filter,
+                            const std::string &key);
+};
+
+} // namespace raizn

@@ -1,0 +1,86 @@
+#include "oltp/sysbench.h"
+
+#include "sim/event_loop.h"
+
+namespace raizn {
+
+namespace {
+
+Status
+txn_read_only(OltpDatabase *db, Rng &rng)
+{
+    const auto &cfg = db->config();
+    // 10 point selects.
+    for (int i = 0; i < 10; ++i) {
+        uint32_t t = static_cast<uint32_t>(rng.next_below(cfg.tables));
+        Status st =
+            db->select_row(t, rng.next_below(cfg.rows_per_table));
+        if (!st)
+            return st;
+    }
+    // 4 range queries of 100 rows (sysbench's sum/order/distinct).
+    for (int i = 0; i < 4; ++i) {
+        uint32_t t = static_cast<uint32_t>(rng.next_below(cfg.tables));
+        Status st = db->select_range(
+            t, rng.next_below(cfg.rows_per_table), 100);
+        if (!st)
+            return st;
+    }
+    return Status::ok();
+}
+
+Status
+txn_write_only(OltpDatabase *db, Rng &rng)
+{
+    const auto &cfg = db->config();
+    for (int i = 0; i < 2; ++i) {
+        uint32_t t = static_cast<uint32_t>(rng.next_below(cfg.tables));
+        Status st =
+            db->update_row(t, rng.next_below(cfg.rows_per_table), rng);
+        if (!st)
+            return st;
+    }
+    uint32_t t = static_cast<uint32_t>(rng.next_below(cfg.tables));
+    uint64_t id = rng.next_below(cfg.rows_per_table);
+    Status st = db->delete_row(t, id);
+    if (!st)
+        return st;
+    return db->insert_row(t, id, rng);
+}
+
+} // namespace
+
+OltpResult
+run_sysbench(EventLoop *loop, OltpDatabase *db, OltpWorkload workload,
+             uint64_t txns, uint64_t seed)
+{
+    OltpResult out;
+    Rng rng(seed);
+    Tick start = loop->now();
+    for (uint64_t i = 0; i < txns; ++i) {
+        Tick t0 = loop->now();
+        Status st;
+        switch (workload) {
+          case OltpWorkload::kReadOnly:
+            st = txn_read_only(db, rng);
+            break;
+          case OltpWorkload::kWriteOnly:
+            st = txn_write_only(db, rng);
+            break;
+          case OltpWorkload::kReadWrite:
+            st = txn_read_only(db, rng);
+            if (st)
+                st = txn_write_only(db, rng);
+            break;
+        }
+        if (st)
+            out.transactions++;
+        else
+            out.errors++;
+        out.latency.add(loop->now() - t0);
+    }
+    out.elapsed = loop->now() - start;
+    return out;
+}
+
+} // namespace raizn

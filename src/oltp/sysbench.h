@@ -1,0 +1,55 @@
+/**
+ * @file
+ * sysbench-style OLTP transaction mixes over OltpDatabase (§6.3):
+ * oltp_read_only (10 point selects + 4 ranges), oltp_write_only
+ * (2 updates + delete/insert pair), oltp_read_write (both).
+ * Throughput and latency are measured in virtual time.
+ */
+#pragma once
+
+#include "common/histogram.h"
+#include "oltp/table.h"
+
+namespace raizn {
+
+class EventLoop;
+
+enum class OltpWorkload {
+    kReadOnly,
+    kWriteOnly,
+    kReadWrite,
+};
+
+constexpr const char *
+to_string(OltpWorkload w)
+{
+    switch (w) {
+      case OltpWorkload::kReadOnly: return "oltp_read_only";
+      case OltpWorkload::kWriteOnly: return "oltp_write_only";
+      case OltpWorkload::kReadWrite: return "oltp_read_write";
+    }
+    return "?";
+}
+
+struct OltpResult {
+    uint64_t transactions = 0;
+    uint64_t errors = 0;
+    Tick elapsed = 0;
+    Histogram latency;
+
+    double
+    tps() const
+    {
+        if (elapsed == 0)
+            return 0;
+        return static_cast<double>(transactions) /
+            (static_cast<double>(elapsed) / kNsPerSec);
+    }
+};
+
+/// Runs `txns` transactions of the given mix.
+OltpResult run_sysbench(EventLoop *loop, OltpDatabase *db,
+                        OltpWorkload workload, uint64_t txns,
+                        uint64_t seed = 1);
+
+} // namespace raizn

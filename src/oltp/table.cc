@@ -1,0 +1,78 @@
+#include "oltp/table.h"
+
+#include <cstdio>
+
+namespace raizn {
+
+std::string
+OltpDatabase::row_key(uint32_t table, uint64_t id)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "t%02u:%010llu", table,
+                  (unsigned long long)id);
+    return buf;
+}
+
+std::string
+OltpDatabase::make_row(Rng &rng) const
+{
+    std::string row(cfg_.row_bytes, 0);
+    for (auto &c : row)
+        c = static_cast<char>('a' + rng.next_below(26));
+    return row;
+}
+
+Status
+OltpDatabase::prepare()
+{
+    Rng rng(42);
+    for (uint32_t t = 0; t < cfg_.tables; ++t) {
+        for (uint64_t id = 0; id < cfg_.rows_per_table; ++id) {
+            Status st = db_->put(row_key(t, id), make_row(rng));
+            if (!st)
+                return st;
+        }
+    }
+    return db_->flush_all();
+}
+
+Status
+OltpDatabase::select_row(uint32_t table, uint64_t id)
+{
+    auto res = db_->get(row_key(table, id));
+    if (!res.is_ok() && res.status().code() != StatusCode::kNotFound)
+        return res.status();
+    return Status::ok();
+}
+
+Status
+OltpDatabase::select_range(uint32_t table, uint64_t id, uint32_t n)
+{
+    for (uint32_t i = 0; i < n; ++i) {
+        uint64_t rid = (id + i) % cfg_.rows_per_table;
+        Status st = select_row(table, rid);
+        if (!st)
+            return st;
+    }
+    return Status::ok();
+}
+
+Status
+OltpDatabase::update_row(uint32_t table, uint64_t id, Rng &rng)
+{
+    return db_->put(row_key(table, id), make_row(rng));
+}
+
+Status
+OltpDatabase::insert_row(uint32_t table, uint64_t id, Rng &rng)
+{
+    return db_->put(row_key(table, id), make_row(rng));
+}
+
+Status
+OltpDatabase::delete_row(uint32_t table, uint64_t id)
+{
+    return db_->delete_key(row_key(table, id));
+}
+
+} // namespace raizn

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Relational table layer over the KV store: a MyRocks-style stand-in
+ * for the paper's MySQL benchmarks. Each sysbench table's rows live
+ * under a key prefix; transactions are storage-level operations (the
+ * SQL layer's parse/plan cost is not what differentiates the arrays).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+#include "kv/db.h"
+
+namespace raizn {
+
+class OltpDatabase
+{
+  public:
+    struct Config {
+        uint32_t tables = 8;
+        uint64_t rows_per_table = 10000;
+        uint32_t row_bytes = 180; ///< sysbench c(120) + pad(60)
+    };
+
+    OltpDatabase(Db *db, Config config) : db_(db), cfg_(config) {}
+
+    /// sysbench "prepare": populates all tables.
+    Status prepare();
+
+    /// Point SELECT of one row.
+    Status select_row(uint32_t table, uint64_t id);
+    /// Range "SELECT ... WHERE id BETWEEN a AND a+n" (n point reads on
+    /// the id-ordered primary key).
+    Status select_range(uint32_t table, uint64_t id, uint32_t n);
+    Status update_row(uint32_t table, uint64_t id, Rng &rng);
+    Status insert_row(uint32_t table, uint64_t id, Rng &rng);
+    Status delete_row(uint32_t table, uint64_t id);
+
+    const Config &config() const { return cfg_; }
+    Db *db() const { return db_; }
+
+    static std::string row_key(uint32_t table, uint64_t id);
+    std::string make_row(Rng &rng) const;
+
+  private:
+    Db *db_;
+    Config cfg_;
+};
+
+} // namespace raizn

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Metadata zone manager (paper §4.3). Each device reserves >= 3
+ * physical zones for metadata: one bound to the general log role
+ * (superblock, generation counters, reset logs, relocated stripe
+ * units), one to the partial-parity log role (isolated because parity
+ * logs are written on every non-stripe-aligned write), and the rest as
+ * swap zones for metadata garbage collection.
+ *
+ * All metadata is written with zone appends. When an active log zone
+ * fills, the manager designates a swap zone as the new log target,
+ * writes a role record with a higher epoch, checkpoints the currently
+ * valid in-memory metadata (entries flagged as checkpointed), and
+ * resets the old zone back into the swap pool (Fig. 4).
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "raizn/layout.h"
+#include "raizn/metadata.h"
+#include "zns/block_device.h"
+
+namespace raizn {
+
+class EventLoop;
+
+/// One metadata entry ready to append.
+struct MdAppend {
+    MdHeader header;
+    std::vector<uint8_t> inline_data;
+    std::vector<uint8_t> payload;
+};
+
+using StatusCb = std::function<void(Status)>;
+
+class MdManager
+{
+  public:
+    /// Returns the checkpoint image of all currently valid in-memory
+    /// metadata for (dev, role); invoked during metadata GC.
+    using SnapshotProvider =
+        std::function<std::vector<MdAppend>(uint32_t dev, MdZoneRole role)>;
+
+    MdManager(EventLoop *loop, const Layout *layout,
+              std::vector<BlockDevice *> devs);
+
+    void set_snapshot_provider(SnapshotProvider provider)
+    {
+        snapshot_ = std::move(provider);
+    }
+
+    /// mkfs path: resets all metadata zones and binds initial roles.
+    Status format();
+
+    /// Re-initializes one (replaced) device's metadata zones.
+    Status format_device(uint32_t dev);
+
+    /**
+     * Appends one metadata entry to the `role` log of device `dev`.
+     * `durable` forces FUA so the entry survives power loss at
+     * completion (zone reset logs, rebuild WAL). Triggers metadata GC
+     * transparently when the active zone is out of space.
+     */
+    void append(uint32_t dev, MdZoneRole role, MdAppend entry,
+                bool durable, StatusCb cb);
+
+    /// Per-device replay log recovered by scan().
+    struct DeviceLog {
+        bool alive = false;
+        /// Entries in replay order (older role epoch first, then append
+        /// order). Role records are filtered out.
+        std::vector<MdEntry> entries;
+    };
+
+    /**
+     * Mount path: reads every metadata zone on every live device,
+     * restores role bindings and append positions, and returns the
+     * replayable entries per device.
+     */
+    Result<std::vector<DeviceLog>> scan();
+
+    /// Device LBA the next append to (dev, role) will land at
+    /// (metadata-zone relative position is wp tracking only).
+    uint64_t active_zone_wp(uint32_t dev, MdZoneRole role) const;
+
+    /**
+     * Lends an empty swap metadata zone (its index) to the caller for
+     * a physical-zone rebuild; return it with return_swap once reset.
+     */
+    Result<uint32_t> borrow_swap(uint32_t dev);
+    void return_swap(uint32_t dev, uint32_t idx);
+
+    uint64_t gc_runs() const { return gc_runs_; }
+    /// Sectors of metadata appended since construction (per device).
+    uint64_t md_sectors_written(uint32_t dev) const
+    {
+        return dev_state_[dev].sectors_written;
+    }
+
+    /// Frees in-memory space accounting after host data no longer
+    /// references the zone (entries themselves are reclaimed by GC).
+    const Layout &layout() const { return *layout_; }
+
+  private:
+    static constexpr uint32_t kNumRoles = 2; // general, parity log
+
+    struct DevState {
+        /// md-zone index (0-based) bound to each role; -1 = unbound.
+        int role_zone[kNumRoles] = {-1, -1};
+        uint64_t next_epoch = 1;
+        std::vector<uint64_t> wp; ///< tracked sectors used per md zone
+        std::vector<uint32_t> swap; ///< free md-zone indices
+        uint64_t sectors_written = 0;
+    };
+
+    uint64_t md_zone_cap() const { return layout_->phys_zone_cap(); }
+    uint64_t md_zone_pba(uint32_t idx) const
+    {
+        return layout_->md_zone_start(idx);
+    }
+
+    void do_append(uint32_t dev, uint32_t zone_idx,
+                   std::vector<uint8_t> bytes, bool durable, StatusCb cb);
+    /// Switches (dev, role) to a fresh swap zone and checkpoints.
+    void gc_switch(uint32_t dev, MdZoneRole role, StatusCb done);
+    std::vector<uint8_t> encode(const MdAppend &entry) const;
+
+    EventLoop *loop_;
+    const Layout *layout_;
+    std::vector<BlockDevice *> devs_;
+    std::vector<DevState> dev_state_;
+    SnapshotProvider snapshot_;
+    uint64_t gc_runs_ = 0;
+};
+
+} // namespace raizn

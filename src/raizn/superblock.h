@@ -1,0 +1,40 @@
+/**
+ * @file
+ * RAIZN superblock: array identity and parameters, persisted to every
+ * device's general metadata zone (Table 1: "All devices", 4 KiB per
+ * update).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "raizn/config.h"
+
+namespace raizn {
+
+struct Superblock {
+    uint64_t array_uuid = 0; ///< random identity chosen at mkfs
+    uint32_t num_devices = 0;
+    uint32_t dev_id = 0; ///< which member this copy belongs to
+    uint32_t su_sectors = 0;
+    uint32_t md_zones_per_device = 0;
+    uint32_t stripe_buffers_per_zone = 0;
+    uint32_t relocation_threshold = 0;
+    uint64_t seq = 0; ///< bumped on every superblock update
+    uint32_t crc = 0; ///< CRC32C over the fields above
+
+    /// Serializes into the inline area of a metadata header.
+    std::vector<uint8_t> encode() const;
+    static Result<Superblock> decode(const std::vector<uint8_t> &inl);
+
+    /// Populates array parameters from a config (identity left as-is).
+    void from_config(const RaiznConfig &cfg);
+    RaiznConfig to_config() const;
+
+    /// True if the two copies describe the same array.
+    bool same_array(const Superblock &other) const;
+};
+
+} // namespace raizn

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Private definitions shared by volume.cc, recovery.cc, and rebuild.cc.
+ * Not part of the public API.
+ */
+#pragma once
+
+#include <deque>
+
+#include "raizn/volume.h"
+
+namespace raizn {
+
+/// Logical zone descriptor (Table 1: 64 bytes per logical zone plus
+/// stripe buffers and persistence bitmap while the zone is open).
+struct RaiznVolume::LZone {
+    raizn::ZoneState cond = raizn::ZoneState::kEmpty;
+    uint64_t wp = 0; ///< absolute logical LBA of the next write
+    uint64_t start = 0;
+    uint64_t cap_end = 0;
+    bool blocked = false; ///< zone reset in flight: IO queued (§5.2)
+    bool has_reloc = false; ///< reads must consult the relocation map
+    std::vector<std::unique_ptr<StripeBuffer>> buffers;
+    PersistBitmap pbm;
+    std::deque<std::function<void()>> waiters;
+
+    uint64_t written() const { return wp - start; }
+};
+
+/// Tracks one logical write until every sub-IO (data, parity, partial
+/// parity log, dependency flushes) has completed.
+struct RaiznVolume::WriteCtx {
+    uint32_t pending = 0;
+    bool issued_all = false;
+    uint32_t dev_errors = 0;
+    Status status;
+    WriteFlags flags;
+    uint32_t zone = 0;
+    uint64_t end_lba = 0; ///< logical end of the write
+    IoCallback cb;
+    bool in_flush_phase = false;
+};
+
+} // namespace raizn

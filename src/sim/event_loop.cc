@@ -1,0 +1,74 @@
+#include "sim/event_loop.h"
+
+#include <cassert>
+#include <utility>
+
+namespace raizn {
+
+void
+EventLoop::schedule_at(Tick when, Callback fn)
+{
+    assert(fn);
+    if (when < now_)
+        when = now_; // never schedule into the past
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+}
+
+bool
+EventLoop::pop_and_run()
+{
+    if (queue_.empty())
+        return false;
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately and never re-heapify the element.
+    Event ev = std::move(const_cast<Event &>(queue_.top()));
+    queue_.pop();
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    processed_++;
+    ev.fn();
+    return true;
+}
+
+uint64_t
+EventLoop::run()
+{
+    uint64_t n = 0;
+    while (pop_and_run())
+        n++;
+    return n;
+}
+
+uint64_t
+EventLoop::run_until(Tick until)
+{
+    uint64_t n = 0;
+    while (!queue_.empty() && queue_.top().when <= until) {
+        pop_and_run();
+        n++;
+    }
+    if (now_ < until)
+        now_ = until;
+    return n;
+}
+
+bool
+EventLoop::run_until_pred(const std::function<bool()> &pred)
+{
+    while (!pred()) {
+        if (!pop_and_run())
+            return pred();
+    }
+    return true;
+}
+
+uint64_t
+EventLoop::run_events(uint64_t n)
+{
+    uint64_t done = 0;
+    while (done < n && pop_and_run())
+        done++;
+    return done;
+}
+
+} // namespace raizn

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Deterministic discrete-event simulation loop. All devices, volumes,
+ * workload jobs, and application layers share one loop; virtual time is
+ * counted in nanoseconds (Tick).
+ *
+ * Determinism: events at the same tick fire in the order they were
+ * scheduled (a monotonically increasing sequence number breaks ties), so
+ * a given seed always produces an identical run.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace raizn {
+
+class EventLoop
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventLoop() = default;
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /// Current virtual time.
+    Tick now() const { return now_; }
+
+    /// Schedules `fn` to run at absolute tick `when` (>= now()).
+    void schedule_at(Tick when, Callback fn);
+
+    /// Schedules `fn` to run `delay` ticks from now.
+    void schedule_after(Tick delay, Callback fn)
+    {
+        schedule_at(now_ + delay, std::move(fn));
+    }
+
+    /// Runs events until the queue is empty. Returns events processed.
+    uint64_t run();
+
+    /// Runs events with time <= `until`; leaves later events queued.
+    uint64_t run_until(Tick until);
+
+    /**
+     * Runs until `pred()` is true or the queue drains. Checks after each
+     * event. Returns true if the predicate was satisfied.
+     */
+    bool run_until_pred(const std::function<bool()> &pred);
+
+    /// Runs exactly `n` events (or fewer if the queue drains).
+    uint64_t run_events(uint64_t n);
+
+    bool empty() const { return queue_.empty(); }
+    size_t pending() const { return queue_.size(); }
+    uint64_t events_processed() const { return processed_; }
+
+    /// Advances the clock with no event (e.g. idle gaps in workloads).
+    void
+    advance_to(Tick t)
+    {
+        if (t > now_)
+            now_ = t;
+    }
+
+  private:
+    struct Event {
+        Tick when;
+        uint64_t seq;
+        Callback fn;
+    };
+    struct Later {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    bool pop_and_run();
+
+    std::priority_queue<Event, std::vector<Event>, Later> queue_;
+    Tick now_ = 0;
+    uint64_t next_seq_ = 0;
+    uint64_t processed_ = 0;
+};
+
+} // namespace raizn

@@ -1,0 +1,21 @@
+#include "wkld/job.h"
+
+#include <vector>
+
+namespace raizn {
+
+JobResult
+merge_results(const std::vector<JobResult> &results)
+{
+    JobResult out;
+    for (const JobResult &r : results) {
+        out.ios += r.ios;
+        out.bytes += r.bytes;
+        out.errors += r.errors;
+        out.elapsed = std::max(out.elapsed, r.elapsed);
+        out.latency.merge(r.latency);
+    }
+    return out;
+}
+
+} // namespace raizn

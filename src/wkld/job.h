@@ -1,0 +1,75 @@
+/**
+ * @file
+ * fio-style job specifications (§6.1): rw mode, block size, queue
+ * depth, and target region per job.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "common/histogram.h"
+#include "common/units.h"
+
+namespace raizn {
+
+enum class RwMode {
+    kSeqWrite,
+    kSeqRead,
+    kRandRead,
+    kRandWrite, ///< invalid for zoned targets
+};
+
+constexpr const char *
+to_string(RwMode m)
+{
+    switch (m) {
+      case RwMode::kSeqWrite: return "write";
+      case RwMode::kSeqRead: return "read";
+      case RwMode::kRandRead: return "randread";
+      case RwMode::kRandWrite: return "randwrite";
+    }
+    return "?";
+}
+
+struct JobSpec {
+    RwMode mode = RwMode::kSeqRead;
+    uint32_t block_sectors = 1;
+    uint32_t queue_depth = 1;
+    /// Region this job operates on, in sectors.
+    uint64_t region_start = 0;
+    uint64_t region_len = 0;
+    /// Stop conditions (first hit wins; 0 = unused). Sequential jobs
+    /// also stop at the end of their region.
+    uint64_t io_limit = 0;
+    Tick time_limit = 0;
+    uint64_t seed = 1;
+    /// Random modes: restrict offsets to block-aligned positions.
+    bool align_random = true;
+};
+
+struct JobResult {
+    uint64_t ios = 0;
+    uint64_t bytes = 0;
+    uint64_t errors = 0;
+    Tick elapsed = 0;
+    Histogram latency;
+
+    double
+    throughput_mibs() const
+    {
+        return mib_per_sec(bytes, elapsed);
+    }
+    double
+    iops() const
+    {
+        if (elapsed == 0)
+            return 0;
+        return static_cast<double>(ios) /
+            (static_cast<double>(elapsed) / kNsPerSec);
+    }
+};
+
+/// Merges per-job results into an aggregate.
+JobResult merge_results(const std::vector<JobResult> &results);
+
+} // namespace raizn

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Workload runner: drives N concurrent jobs against an IoTarget on the
+ * event loop, keeping each job's queue depth full, and records
+ * throughput + latency. Mirrors the fio configurations of §6.1
+ * (e.g. 8 jobs x QD64 sequential, 1 job x QD256 random read).
+ */
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "wkld/job.h"
+#include "wkld/sampler.h"
+#include "wkld/target.h"
+
+namespace raizn {
+
+class EventLoop;
+
+class WorkloadRunner
+{
+  public:
+    WorkloadRunner(EventLoop *loop, IoTarget *target);
+
+    /// Runs all jobs to completion (synchronously drains the loop).
+    std::vector<JobResult> run(const std::vector<JobSpec> &jobs,
+                               Sampler *sampler = nullptr);
+
+    /// Convenience: one aggregated result.
+    JobResult run_merged(const std::vector<JobSpec> &jobs,
+                         Sampler *sampler = nullptr);
+
+  private:
+    EventLoop *loop_;
+    IoTarget *target_;
+};
+
+/// Builds the paper's standard job sets. `region_align` aligns each
+/// job's region (pass the logical zone capacity for zoned writes).
+std::vector<JobSpec> seq_jobs(RwMode mode, uint32_t block_sectors,
+                              uint32_t njobs, uint32_t qd,
+                              uint64_t capacity,
+                              uint64_t region_align = 0);
+JobSpec rand_read_job(uint32_t block_sectors, uint32_t qd,
+                      uint64_t capacity, uint64_t seed = 7);
+
+} // namespace raizn

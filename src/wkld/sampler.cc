@@ -1,0 +1,20 @@
+#include "wkld/sampler.h"
+
+namespace raizn {
+
+void
+Sampler::record(Tick now, uint64_t bytes, Tick latency)
+{
+    size_t idx = static_cast<size_t>(now / interval_);
+    while (samples_.size() <= idx) {
+        Sample s;
+        s.t = static_cast<Tick>(samples_.size()) * interval_;
+        samples_.push_back(std::move(s));
+    }
+    Sample &s = samples_[idx];
+    s.ios++;
+    s.bytes += bytes;
+    s.latency.add(latency);
+}
+
+} // namespace raizn

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Time-series sampler: buckets completed IO into fixed virtual-time
+ * intervals, producing the throughput/latency-over-time series of
+ * Fig. 10.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/units.h"
+
+namespace raizn {
+
+class Sampler
+{
+  public:
+    explicit Sampler(Tick interval = kNsPerSec) : interval_(interval) {}
+
+    /// Records one completed IO at virtual time `now`.
+    void record(Tick now, uint64_t bytes, Tick latency);
+
+    struct Sample {
+        Tick t; ///< interval start
+        uint64_t ios = 0;
+        uint64_t bytes = 0;
+        Histogram latency;
+
+        double
+        throughput_mibs(Tick interval) const
+        {
+            return mib_per_sec(bytes, interval);
+        }
+    };
+
+    const std::vector<Sample> &samples() const { return samples_; }
+    Tick interval() const { return interval_; }
+
+  private:
+    Tick interval_;
+    std::vector<Sample> samples_;
+};
+
+} // namespace raizn

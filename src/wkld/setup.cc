@@ -1,0 +1,77 @@
+#include "wkld/setup.h"
+
+#include "common/logging.h"
+#include "wkld/runner.h"
+#include "wkld/target.h"
+
+namespace raizn {
+
+RaiznArray
+make_raizn_array(const BenchScale &scale)
+{
+    RaiznArray arr;
+    arr.loop = std::make_unique<EventLoop>();
+    std::vector<BlockDevice *> ptrs;
+    for (uint32_t i = 0; i < scale.num_devices; ++i) {
+        ZnsDeviceConfig cfg;
+        cfg.nzones = scale.zones_per_device;
+        cfg.zone_size = scale.zone_cap_sectors;
+        cfg.zone_capacity = scale.zone_cap_sectors;
+        cfg.data_mode = scale.data_mode;
+        cfg.timing = TimingParams::zns();
+        cfg.name = "zns" + std::to_string(i);
+        arr.devs.push_back(
+            std::make_unique<ZnsDevice>(arr.loop.get(), cfg));
+        ptrs.push_back(arr.devs.back().get());
+    }
+    RaiznConfig rcfg;
+    rcfg.num_devices = scale.num_devices;
+    rcfg.su_sectors = scale.su_sectors;
+    auto res = RaiznVolume::create(arr.loop.get(), ptrs, rcfg);
+    if (!res.is_ok())
+        RAIZN_PANIC("RAIZN create failed: %s",
+                    res.status().to_string().c_str());
+    arr.vol = std::move(res).value();
+    return arr;
+}
+
+MdArray
+make_mdraid_array(const BenchScale &scale)
+{
+    MdArray arr;
+    arr.loop = std::make_unique<EventLoop>();
+    std::vector<BlockDevice *> ptrs;
+    for (uint32_t i = 0; i < scale.num_devices; ++i) {
+        ConvDeviceConfig cfg;
+        cfg.nsectors = scale.device_sectors();
+        cfg.data_mode = scale.data_mode;
+        cfg.timing = TimingParams::conventional();
+        cfg.op_ratio = 0.07;
+        cfg.pages_per_block = 512; // 2 MiB erase blocks
+        cfg.name = "conv" + std::to_string(i);
+        arr.devs.push_back(
+            std::make_unique<ConvDevice>(arr.loop.get(), cfg));
+        ptrs.push_back(arr.devs.back().get());
+    }
+    MdVolumeConfig mcfg;
+    mcfg.chunk_sectors = scale.su_sectors;
+    arr.vol = std::make_unique<MdVolume>(arr.loop.get(), ptrs, mcfg);
+    return arr;
+}
+
+Tick
+prime_target(EventLoop *loop, IoTarget *target, uint64_t sectors)
+{
+    Tick start = loop->now();
+    WorkloadRunner runner(loop, target);
+    JobSpec s;
+    s.mode = RwMode::kSeqWrite;
+    s.block_sectors = 256; // 1 MiB
+    s.queue_depth = 32;
+    s.region_start = 0;
+    s.region_len = sectors / s.block_sectors * s.block_sectors;
+    runner.run({s});
+    return loop->now() - start;
+}
+
+} // namespace raizn

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Array factories shared by benches and examples: builds a RAIZN array
+ * of emulated ZNS SSDs or an mdraid array of conventional SSDs at a
+ * laptop-friendly scale (geometrically scaled from the paper's 5x 2TB
+ * devices; timing parameters match the paper's measured devices).
+ */
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "mdraid/md_volume.h"
+#include "raizn/volume.h"
+#include "sim/event_loop.h"
+#include "zns/conv_device.h"
+#include "zns/zns_device.h"
+
+namespace raizn {
+
+/// Scaled array geometry knobs.
+struct BenchScale {
+    uint32_t num_devices = 5;
+    uint32_t zones_per_device = 24;
+    uint64_t zone_cap_sectors = 8192; ///< 32 MiB zones
+    uint32_t su_sectors = 16; ///< 64 KiB stripe units / chunks
+    DataMode data_mode = DataMode::kNone;
+
+    uint64_t device_sectors() const
+    {
+        return static_cast<uint64_t>(zones_per_device) * zone_cap_sectors;
+    }
+};
+
+/// A fully wired array; owns the loop, devices, and volume.
+struct RaiznArray {
+    std::unique_ptr<EventLoop> loop;
+    std::vector<std::unique_ptr<ZnsDevice>> devs;
+    std::unique_ptr<RaiznVolume> vol;
+};
+
+struct MdArray {
+    std::unique_ptr<EventLoop> loop;
+    std::vector<std::unique_ptr<ConvDevice>> devs;
+    std::unique_ptr<MdVolume> vol;
+};
+
+RaiznArray make_raizn_array(const BenchScale &scale);
+MdArray make_mdraid_array(const BenchScale &scale);
+
+/// Sequentially fills `sectors` of the volume (priming, §6.1) using
+/// large blocks; returns the virtual time taken.
+Tick prime_target(EventLoop *loop, class IoTarget *target,
+                  uint64_t sectors);
+
+} // namespace raizn

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Uniform IO target interface so the fio-like workload runner can
+ * drive a RAIZN volume, an mdraid volume, or a raw device with the
+ * same job specifications.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "mdraid/md_volume.h"
+#include "raizn/volume.h"
+#include "zns/block_device.h"
+
+namespace raizn {
+
+class IoTarget
+{
+  public:
+    virtual ~IoTarget() = default;
+    virtual uint64_t capacity() const = 0;
+    virtual void read(uint64_t lba, uint32_t n, IoCallback cb) = 0;
+    /// Sequential or random write depending on the target's semantics.
+    virtual void write(uint64_t lba, uint32_t n, IoCallback cb) = 0;
+    virtual void flush(IoCallback cb) = 0;
+    /// True if the target requires sequential (zoned) writes.
+    virtual bool zoned() const = 0;
+    /// For zoned targets: resets the zone containing `lba`.
+    virtual void reset_zone_at(uint64_t lba, IoCallback cb) = 0;
+};
+
+class RaiznTarget : public IoTarget
+{
+  public:
+    explicit RaiznTarget(RaiznVolume *vol) : vol_(vol) {}
+    uint64_t capacity() const override { return vol_->capacity(); }
+    void
+    read(uint64_t lba, uint32_t n, IoCallback cb) override
+    {
+        vol_->read(lba, n, std::move(cb));
+    }
+    void
+    write(uint64_t lba, uint32_t n, IoCallback cb) override
+    {
+        vol_->write_len(lba, n, {}, std::move(cb));
+    }
+    void
+    flush(IoCallback cb) override
+    {
+        vol_->flush(std::move(cb));
+    }
+    bool zoned() const override { return true; }
+    void
+    reset_zone_at(uint64_t lba, IoCallback cb) override
+    {
+        vol_->reset_zone(vol_->layout().zone_of(lba), std::move(cb));
+    }
+    RaiznVolume *volume() const { return vol_; }
+
+  private:
+    RaiznVolume *vol_;
+};
+
+class MdTarget : public IoTarget
+{
+  public:
+    explicit MdTarget(MdVolume *vol) : vol_(vol) {}
+    uint64_t capacity() const override { return vol_->capacity(); }
+    void
+    read(uint64_t lba, uint32_t n, IoCallback cb) override
+    {
+        vol_->read(lba, n, std::move(cb));
+    }
+    void
+    write(uint64_t lba, uint32_t n, IoCallback cb) override
+    {
+        vol_->write_len(lba, n, std::move(cb));
+    }
+    void
+    flush(IoCallback cb) override
+    {
+        vol_->flush(std::move(cb));
+    }
+    bool zoned() const override { return false; }
+    void
+    reset_zone_at(uint64_t, IoCallback cb) override
+    {
+        IoResult r;
+        cb(std::move(r));
+    }
+    MdVolume *volume() const { return vol_; }
+
+  private:
+    MdVolume *vol_;
+};
+
+/// Raw single-device target (§6.1 raw microbenchmarks).
+class DeviceTarget : public IoTarget
+{
+  public:
+    explicit DeviceTarget(BlockDevice *dev) : dev_(dev) {}
+    uint64_t capacity() const override
+    {
+        const auto &g = dev_->geometry();
+        return g.zoned ? g.zone_capacity * g.nzones : g.nsectors;
+    }
+    void
+    read(uint64_t lba, uint32_t n, IoCallback cb) override
+    {
+        dev_->submit(IoRequest::read(to_pba(lba), n), std::move(cb));
+    }
+    void
+    write(uint64_t lba, uint32_t n, IoCallback cb) override
+    {
+        dev_->submit(IoRequest::write_len(to_pba(lba), n),
+                     std::move(cb));
+    }
+    void
+    flush(IoCallback cb) override
+    {
+        dev_->submit(IoRequest::flush(), std::move(cb));
+    }
+    bool zoned() const override { return dev_->geometry().zoned; }
+    void
+    reset_zone_at(uint64_t lba, IoCallback cb) override
+    {
+        const auto &g = dev_->geometry();
+        uint64_t zone = to_pba(lba) / g.zone_size;
+        dev_->submit(IoRequest::zone_reset(zone * g.zone_size),
+                     std::move(cb));
+    }
+
+  private:
+    /// Maps a dense "capacity" LBA onto the zoned address space.
+    uint64_t
+    to_pba(uint64_t lba) const
+    {
+        const auto &g = dev_->geometry();
+        if (!g.zoned || g.zone_capacity == g.zone_size)
+            return lba;
+        uint64_t zone = lba / g.zone_capacity;
+        return zone * g.zone_size + lba % g.zone_capacity;
+    }
+
+    BlockDevice *dev_;
+};
+
+} // namespace raizn

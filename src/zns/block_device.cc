@@ -1,0 +1,37 @@
+#include "zns/block_device.h"
+
+#include <cassert>
+
+#include "common/rng.h"
+#include "sim/event_loop.h"
+
+namespace raizn {
+
+IoResult
+submit_sync(EventLoop &loop, BlockDevice &dev, IoRequest req)
+{
+    IoResult out;
+    bool done = false;
+    dev.submit(std::move(req), [&](IoResult r) {
+        out = std::move(r);
+        done = true;
+    });
+    loop.run_until_pred([&] { return done; });
+    assert(done && "device dropped a completion");
+    return out;
+}
+
+std::vector<uint8_t>
+pattern_data(uint32_t nsectors, uint64_t seed)
+{
+    std::vector<uint8_t> out(static_cast<size_t>(nsectors) * kSectorSize);
+    Rng rng(seed);
+    // 64-bit pattern words; cheap and collision-resistant enough for
+    // read-back verification.
+    auto *words = reinterpret_cast<uint64_t *>(out.data());
+    for (size_t i = 0; i < out.size() / 8; ++i)
+        words[i] = rng.next();
+    return out;
+}
+
+} // namespace raizn

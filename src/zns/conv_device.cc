@@ -1,0 +1,178 @@
+#include "zns/conv_device.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/logging.h"
+#include "sim/event_loop.h"
+
+namespace raizn {
+
+ConvDevice::ConvDevice(EventLoop *loop, ConvDeviceConfig config)
+    : loop_(loop), config_(std::move(config))
+{
+    geom_.zoned = false;
+    geom_.nsectors = config_.nsectors;
+    geom_.atomic_write_sectors = 16;
+
+    timing_ = std::make_unique<TimingModel>(*loop_, config_.timing);
+    FtlConfig fcfg;
+    fcfg.user_pages = config_.nsectors;
+    fcfg.op_ratio = config_.op_ratio;
+    fcfg.pages_per_block = config_.pages_per_block;
+    fcfg.gc_low_blocks = config_.gc_low_blocks;
+    fcfg.gc_high_blocks = config_.gc_high_blocks;
+    ftl_ = std::make_unique<Ftl>(fcfg);
+}
+
+void
+ConvDevice::complete(Tick when, IoCallback cb, IoResult result)
+{
+    result.submit_tick = loop_->now();
+    result.complete_tick = when;
+    uint64_t epoch = epoch_;
+    loop_->schedule_at(
+        when, [this, epoch, cb = std::move(cb),
+               result = std::move(result)]() mutable {
+            if (epoch != epoch_)
+                return;
+            cb(std::move(result));
+        });
+}
+
+void
+ConvDevice::submit(IoRequest req, IoCallback cb)
+{
+    assert(cb);
+    if (failed_) {
+        stats_.errors++;
+        IoResult r;
+        r.status = Status(StatusCode::kOffline, "device failed");
+        complete(loop_->now() + kNsPerUs, std::move(cb), std::move(r));
+        return;
+    }
+
+    IoResult result;
+    Tick when = loop_->now();
+
+    if (req.preflush && req.op != IoOp::kFlush)
+        when = std::max(when, timing_->flush_done());
+
+    switch (req.op) {
+      case IoOp::kRead: {
+        if (req.nsectors == 0 ||
+            req.slba + req.nsectors > geom_.nsectors) {
+            result.status =
+                Status(StatusCode::kInvalidArgument, "read out of range");
+            break;
+        }
+        stats_.reads++;
+        stats_.sectors_read += req.nsectors;
+        result.lba = req.slba;
+        if (config_.data_mode == DataMode::kStore) {
+            result.data.assign(
+                static_cast<size_t>(req.nsectors) * kSectorSize, 0);
+            if (!data_.empty()) {
+                std::memcpy(result.data.data(),
+                            data_.data() + req.slba * kSectorSize,
+                            result.data.size());
+            }
+        }
+        when = std::max(when, timing_->read_done(req.nsectors));
+        break;
+      }
+      case IoOp::kWrite: {
+        if (req.nsectors == 0 ||
+            req.slba + req.nsectors > geom_.nsectors) {
+            result.status =
+                Status(StatusCode::kInvalidArgument, "write out of range");
+            break;
+        }
+        stats_.writes++;
+        stats_.sectors_written += req.nsectors;
+        result.lba = req.slba;
+        if (config_.data_mode == DataMode::kStore) {
+            if (data_.empty())
+                data_.assign(geom_.nsectors * kSectorSize, 0);
+            size_t len = static_cast<size_t>(req.nsectors) * kSectorSize;
+            if (!req.data.empty()) {
+                assert(req.data.size() == len);
+                std::memcpy(data_.data() + req.slba * kSectorSize,
+                            req.data.data(), len);
+            } else {
+                std::memset(data_.data() + req.slba * kSectorSize, 0, len);
+            }
+        }
+        // Run every page through the FTL; GC work it triggers occupies
+        // device units ahead of later commands.
+        GcWork total;
+        for (uint32_t i = 0; i < req.nsectors; ++i) {
+            GcWork w = ftl_->write_page(req.slba + i);
+            total.pages_copied += w.pages_copied;
+            total.blocks_erased += w.blocks_erased;
+        }
+        when = std::max(when, timing_->write_done(req.nsectors));
+        if (total.pages_copied > 0) {
+            stats_.gc_page_copies += total.pages_copied;
+            // Each relocated page costs a read + program on the media.
+            Tick gc_done = timing_->internal_copy_done(
+                static_cast<uint32_t>(total.pages_copied));
+            when = std::max(when, gc_done);
+        }
+        if (total.blocks_erased > 0) {
+            stats_.gc_erases += total.blocks_erased;
+            for (uint64_t e = 0; e < total.blocks_erased; ++e)
+                when = std::max(when, timing_->reset_done());
+        }
+        break;
+      }
+      case IoOp::kFlush: {
+        stats_.flushes++;
+        when = std::max(when, timing_->flush_done());
+        break;
+      }
+      default:
+        result.status =
+            Status(StatusCode::kNotSupported, "zone op on block device");
+        break;
+    }
+
+    if (!result.status.is_ok())
+        stats_.errors++;
+    complete(std::max(when, loop_->now() + 1), std::move(cb),
+             std::move(result));
+}
+
+void
+ConvDevice::trim(uint64_t slba, uint64_t nsectors)
+{
+    assert(slba + nsectors <= geom_.nsectors);
+    for (uint64_t i = 0; i < nsectors; ++i)
+        ftl_->trim_page(slba + i);
+}
+
+void
+ConvDevice::reattach(EventLoop *loop)
+{
+    loop_ = loop;
+    epoch_++;
+    timing_ = std::make_unique<TimingModel>(*loop_, config_.timing);
+}
+
+void
+ConvDevice::replace()
+{
+    failed_ = false;
+    epoch_++;
+    data_.clear();
+    FtlConfig fcfg;
+    fcfg.user_pages = config_.nsectors;
+    fcfg.op_ratio = config_.op_ratio;
+    fcfg.pages_per_block = config_.pages_per_block;
+    fcfg.gc_low_blocks = config_.gc_low_blocks;
+    fcfg.gc_high_blocks = config_.gc_high_blocks;
+    ftl_ = std::make_unique<Ftl>(fcfg);
+    stats_ = DeviceStats{};
+}
+
+} // namespace raizn

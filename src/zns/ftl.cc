@@ -1,0 +1,169 @@
+#include "zns/ftl.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+#include "common/units.h"
+
+namespace raizn {
+
+Ftl::Ftl(FtlConfig config) : cfg_(config)
+{
+    assert(cfg_.user_pages > 0);
+    uint64_t phys_pages = static_cast<uint64_t>(
+        static_cast<double>(cfg_.user_pages) * (1.0 + cfg_.op_ratio));
+    nblocks_ = div_ceil(phys_pages, cfg_.pages_per_block);
+    // Keep enough headroom for the watermarks plus two active blocks.
+    uint64_t min_blocks = div_ceil(cfg_.user_pages, cfg_.pages_per_block) +
+        cfg_.gc_high_blocks + 2;
+    if (nblocks_ < min_blocks)
+        nblocks_ = min_blocks;
+
+    l2p_.assign(cfg_.user_pages, kUnmapped);
+    p2l_.assign(nblocks_ * cfg_.pages_per_block, kUnmapped);
+    valid_count_.assign(nblocks_, 0);
+    write_ptr_.assign(nblocks_, 0);
+    sealed_.assign(nblocks_, false);
+    for (uint32_t b = 0; b < nblocks_; ++b)
+        free_list_.push_back(b);
+}
+
+void
+Ftl::map(uint64_t lba, uint64_t ppa)
+{
+    l2p_[lba] = ppa;
+    p2l_[ppa] = lba;
+    valid_count_[ppa / cfg_.pages_per_block]++;
+}
+
+void
+Ftl::invalidate(uint64_t ppa)
+{
+    uint64_t block = ppa / cfg_.pages_per_block;
+    assert(valid_count_[block] > 0);
+    valid_count_[block]--;
+    p2l_[ppa] = kUnmapped;
+}
+
+uint32_t
+Ftl::pick_victim() const
+{
+    // Greedy: sealed block with the fewest valid pages. Skip the active
+    // blocks.
+    uint32_t best = UINT32_MAX;
+    uint32_t best_valid = UINT32_MAX;
+    for (uint32_t b = 0; b < nblocks_; ++b) {
+        if (!sealed_[b])
+            continue;
+        if (static_cast<int64_t>(b) == user_block_ ||
+            static_cast<int64_t>(b) == gc_block_) {
+            continue;
+        }
+        if (valid_count_[b] < best_valid) {
+            best_valid = valid_count_[b];
+            best = b;
+        }
+    }
+    return best;
+}
+
+void
+Ftl::gc_collect(GcWork &work)
+{
+    while (free_list_.size() < cfg_.gc_high_blocks) {
+        uint32_t victim = pick_victim();
+        if (victim == UINT32_MAX)
+            return; // nothing reclaimable
+        // Relocate valid pages into the GC active block.
+        uint64_t base = static_cast<uint64_t>(victim) *
+            cfg_.pages_per_block;
+        for (uint32_t p = 0; p < cfg_.pages_per_block; ++p) {
+            uint64_t lba = p2l_[base + p];
+            if (lba == kUnmapped)
+                continue;
+            invalidate(base + p);
+            uint64_t dst = alloc_page(work, true);
+            map(lba, dst);
+            work.pages_copied++;
+            gc_pages_copied_++;
+        }
+        assert(valid_count_[victim] == 0);
+        sealed_[victim] = false;
+        write_ptr_[victim] = 0;
+        free_list_.push_back(victim);
+        work.blocks_erased++;
+    }
+}
+
+uint64_t
+Ftl::alloc_page(GcWork &work, bool for_gc)
+{
+    int64_t &active = for_gc ? gc_block_ : user_block_;
+    if (active >= 0 && write_ptr_[static_cast<size_t>(active)] >=
+        cfg_.pages_per_block) {
+        sealed_[static_cast<size_t>(active)] = true;
+        active = -1;
+    }
+    if (active < 0) {
+        if (free_list_.empty()) {
+            // Forced foreground GC: must free a block to proceed.
+            gc_collect(work);
+        }
+        if (free_list_.empty())
+            RAIZN_PANIC("FTL out of space: no reclaimable block");
+        active = free_list_.front();
+        free_list_.pop_front();
+    }
+    uint64_t block = static_cast<uint64_t>(active);
+    uint64_t ppa = block * cfg_.pages_per_block + write_ptr_[block];
+    write_ptr_[block]++;
+    if (write_ptr_[block] >= cfg_.pages_per_block) {
+        sealed_[block] = true;
+        active = -1;
+    }
+    return ppa;
+}
+
+GcWork
+Ftl::write_page(uint64_t lba)
+{
+    assert(lba < cfg_.user_pages);
+    GcWork work;
+    if (l2p_[lba] != kUnmapped)
+        invalidate(l2p_[lba]);
+    uint64_t ppa = alloc_page(work, false);
+    map(lba, ppa);
+    host_pages_written_++;
+    // Background GC keeps the free pool between the watermarks.
+    if (free_list_.size() <= cfg_.gc_low_blocks)
+        gc_collect(work);
+    return work;
+}
+
+void
+Ftl::trim_page(uint64_t lba)
+{
+    assert(lba < cfg_.user_pages);
+    if (l2p_[lba] != kUnmapped) {
+        invalidate(l2p_[lba]);
+        l2p_[lba] = kUnmapped;
+    }
+}
+
+bool
+Ftl::is_mapped(uint64_t lba) const
+{
+    assert(lba < cfg_.user_pages);
+    return l2p_[lba] != kUnmapped;
+}
+
+double
+Ftl::write_amplification() const
+{
+    if (host_pages_written_ == 0)
+        return 1.0;
+    return static_cast<double>(host_pages_written_ + gc_pages_copied_) /
+        static_cast<double>(host_pages_written_);
+}
+
+} // namespace raizn

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Page-mapped flash translation layer used by the conventional-SSD
+ * emulation. Tracks LBA→physical-page mappings, per-erase-block valid
+ * counts, over-provisioned blocks, and runs greedy garbage collection
+ * when free blocks run low.
+ *
+ * The FTL is purely logical: it decides *what* gets copied/erased; the
+ * owning device charges the corresponding time on its TimingModel. This
+ * is the mechanism behind Fig. 10's mdraid throughput collapse.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+namespace raizn {
+
+struct FtlConfig {
+    uint64_t user_pages = 0; ///< advertised capacity in pages (sectors)
+    double op_ratio = 0.07; ///< extra physical space fraction
+    uint32_t pages_per_block = 512; ///< 2 MiB erase blocks at 4 KiB pages
+    /// GC starts when free blocks drop to the low watermark and runs
+    /// until the high watermark is restored.
+    uint32_t gc_low_blocks = 4;
+    uint32_t gc_high_blocks = 8;
+};
+
+/// Work performed by the FTL while absorbing one host page write.
+struct GcWork {
+    uint64_t pages_copied = 0;
+    uint64_t blocks_erased = 0;
+};
+
+class Ftl
+{
+  public:
+    explicit Ftl(FtlConfig config);
+
+    /**
+     * Absorbs a host write of one page to `lba`. Returns the GC work
+     * (valid-page copies, erases) triggered by this write so the caller
+     * can charge device time for it.
+     */
+    GcWork write_page(uint64_t lba);
+
+    /// Host trim/deallocate: drops the mapping without writing.
+    void trim_page(uint64_t lba);
+
+    bool is_mapped(uint64_t lba) const;
+
+    uint64_t free_blocks() const
+    {
+        return free_list_.size();
+    }
+    uint64_t total_blocks() const { return nblocks_; }
+    uint64_t pages_written() const { return host_pages_written_; }
+    uint64_t gc_pages_copied() const { return gc_pages_copied_; }
+
+    /// Cumulative write amplification (flash programs / host writes).
+    double write_amplification() const;
+
+    /// True while the device is in the GC regime (free <= low mark).
+    bool gc_active() const
+    {
+        return free_list_.size() <= cfg_.gc_low_blocks;
+    }
+
+  private:
+    static constexpr uint64_t kUnmapped = UINT64_MAX;
+
+    uint64_t alloc_page(GcWork &work, bool for_gc);
+    void invalidate(uint64_t ppa);
+    void gc_collect(GcWork &work);
+    uint32_t pick_victim() const;
+    void map(uint64_t lba, uint64_t ppa);
+
+    FtlConfig cfg_;
+    uint64_t nblocks_;
+    std::vector<uint64_t> l2p_; ///< lba -> ppa
+    std::vector<uint64_t> p2l_; ///< ppa -> lba
+    std::vector<uint32_t> valid_count_; ///< per block
+    std::vector<uint32_t> write_ptr_; ///< next page within block, or done
+    std::vector<bool> sealed_; ///< block fully programmed
+    std::deque<uint32_t> free_list_;
+    int64_t user_block_ = -1; ///< active block for host writes
+    int64_t gc_block_ = -1; ///< active block for GC relocation
+    uint64_t host_pages_written_ = 0;
+    uint64_t gc_pages_copied_ = 0;
+};
+
+} // namespace raizn

@@ -1,0 +1,113 @@
+#include "zns/timing_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sim/event_loop.h"
+
+namespace raizn {
+
+TimingParams
+TimingParams::zns()
+{
+    return TimingParams{};
+}
+
+TimingParams
+TimingParams::conventional()
+{
+    TimingParams p;
+    p.read_bw_mibs = 3400.0; // ~4% above ZNS (paper §6.1)
+    p.write_bw_mibs = 1075.0; // ~2% above ZNS
+    p.read_overhead = 27 * kNsPerUs;
+    p.write_overhead = 22 * kNsPerUs;
+    return p;
+}
+
+TimingModel::TimingModel(EventLoop &loop, TimingParams params)
+    : loop_(loop), params_(params), unit_free_(params.units, 0)
+{
+    assert(params.units > 0);
+}
+
+Tick
+TimingModel::service_read(uint32_t nsectors) const
+{
+    // Per-unit bandwidth: aggregate / units.
+    double bytes = static_cast<double>(nsectors) * kSectorSize;
+    double per_unit_bw =
+        params_.read_bw_mibs * static_cast<double>(kMiB) / params_.units;
+    return params_.read_overhead +
+        static_cast<Tick>(bytes / per_unit_bw * kNsPerSec);
+}
+
+Tick
+TimingModel::service_write(uint32_t nsectors) const
+{
+    double bytes = static_cast<double>(nsectors) * kSectorSize;
+    double per_unit_bw =
+        params_.write_bw_mibs * static_cast<double>(kMiB) / params_.units;
+    return params_.write_overhead +
+        static_cast<Tick>(bytes / per_unit_bw * kNsPerSec);
+}
+
+Tick
+TimingModel::occupy(Tick service)
+{
+    // Earliest-free unit; ties resolve to the lowest index for
+    // determinism.
+    auto it = std::min_element(unit_free_.begin(), unit_free_.end());
+    Tick start = std::max(loop_.now(), *it);
+    Tick done = start + service;
+    *it = done;
+    return done;
+}
+
+Tick
+TimingModel::read_done(uint32_t nsectors)
+{
+    return occupy(service_read(nsectors));
+}
+
+Tick
+TimingModel::write_done(uint32_t nsectors)
+{
+    return occupy(service_write(nsectors));
+}
+
+Tick
+TimingModel::reset_done()
+{
+    return occupy(params_.reset_latency);
+}
+
+Tick
+TimingModel::finish_done()
+{
+    return occupy(params_.finish_latency);
+}
+
+Tick
+TimingModel::flush_done()
+{
+    // A flush waits for every pending program to land, then pays the
+    // flush latency; it does not occupy a data unit.
+    return drain_tick() + params_.flush_latency;
+}
+
+Tick
+TimingModel::internal_copy_done(uint32_t nsectors)
+{
+    return occupy(service_read(nsectors) + service_write(nsectors));
+}
+
+Tick
+TimingModel::drain_tick() const
+{
+    Tick t = loop_.now();
+    for (Tick f : unit_free_)
+        t = std::max(t, f);
+    return t;
+}
+
+} // namespace raizn

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Device service-time model. A device is modelled as a set of parallel
+ * service units (channels/die groups); each command occupies one unit for
+ * a fixed per-command overhead plus a size-proportional transfer time.
+ *
+ * This reproduces the throughput-vs-block-size and queue-depth behaviour
+ * the paper's fio sweeps exercise: small blocks are overhead-bound
+ * (IOPS-limited), large blocks approach aggregate bandwidth.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace raizn {
+
+class EventLoop;
+
+/// Calibration knobs. Defaults approximate the paper's WD ZN540:
+/// 1052 MiB/s write, 3265 MiB/s read (§6.1).
+struct TimingParams {
+    uint32_t units = 8; ///< internal parallelism
+    double read_bw_mibs = 3265.0; ///< aggregate read bandwidth
+    double write_bw_mibs = 1052.0; ///< aggregate write bandwidth
+    Tick read_overhead = 30 * kNsPerUs; ///< per-command fixed cost
+    Tick write_overhead = 25 * kNsPerUs;
+    Tick flush_latency = 40 * kNsPerUs;
+    Tick reset_latency = 2 * kNsPerMs; ///< zone reset / block erase
+    Tick finish_latency = 1 * kNsPerMs;
+
+    /// Conventional SSD preset: marginally faster than ZNS per the paper
+    /// (ZNS read/write 4%/2% lower due to firmware maturity).
+    static TimingParams conventional();
+    /// ZNS SSD preset (the defaults above).
+    static TimingParams zns();
+};
+
+/**
+ * Tracks per-unit busy horizons and computes completion times.
+ * Deterministic: commands are placed on the earliest-free unit.
+ */
+class TimingModel
+{
+  public:
+    TimingModel(EventLoop &loop, TimingParams params);
+
+    const TimingParams &params() const { return params_; }
+
+    /// Schedules a read of `nsectors`; returns absolute completion tick.
+    Tick read_done(uint32_t nsectors);
+    /// Schedules a write/program of `nsectors`.
+    Tick write_done(uint32_t nsectors);
+    /// Schedules a zone reset / erase.
+    Tick reset_done();
+    Tick finish_done();
+    /// Flush: completes after all queued writes plus flush latency.
+    Tick flush_done();
+
+    /**
+     * Occupies one unit for an internal operation (FTL GC page copy =
+     * read + program on the same unit). Returns completion tick.
+     */
+    Tick internal_copy_done(uint32_t nsectors);
+
+    /// Earliest tick at which every unit is idle.
+    Tick drain_tick() const;
+
+  private:
+    Tick occupy(Tick service);
+    Tick service_read(uint32_t nsectors) const;
+    Tick service_write(uint32_t nsectors) const;
+
+    EventLoop &loop_;
+    TimingParams params_;
+    std::vector<Tick> unit_free_; ///< per-unit next-free time
+};
+
+} // namespace raizn

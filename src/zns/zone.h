@@ -1,0 +1,65 @@
+/**
+ * @file
+ * ZNS zone state machine types (NVMe ZNS Command Set §2).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace raizn {
+
+/// Zone states from the ZNS specification.
+enum class ZoneState : uint8_t {
+    kEmpty,
+    kImplicitOpen,
+    kExplicitOpen,
+    kClosed,
+    kFull,
+    kReadOnly,
+    kOffline,
+};
+
+constexpr std::string_view
+to_string(ZoneState s)
+{
+    switch (s) {
+      case ZoneState::kEmpty: return "EMPTY";
+      case ZoneState::kImplicitOpen: return "IMPLICIT_OPEN";
+      case ZoneState::kExplicitOpen: return "EXPLICIT_OPEN";
+      case ZoneState::kClosed: return "CLOSED";
+      case ZoneState::kFull: return "FULL";
+      case ZoneState::kReadOnly: return "READ_ONLY";
+      case ZoneState::kOffline: return "OFFLINE";
+    }
+    return "?";
+}
+
+/// True for states that count against the device's open-zone limit.
+constexpr bool
+is_open(ZoneState s)
+{
+    return s == ZoneState::kImplicitOpen || s == ZoneState::kExplicitOpen;
+}
+
+/// True for states that count against the device's active-zone limit.
+constexpr bool
+is_active(ZoneState s)
+{
+    return is_open(s) || s == ZoneState::kClosed;
+}
+
+/// Snapshot of one zone, as returned by Report Zones.
+struct ZoneInfo {
+    uint64_t start; ///< first LBA of the zone (zone size aligned)
+    uint64_t capacity; ///< writable sectors (<= zone size)
+    uint64_t wp; ///< next writable LBA (absolute)
+    ZoneState state;
+
+    /// Sectors written so far.
+    uint64_t written() const { return wp - start; }
+    bool empty() const { return state == ZoneState::kEmpty; }
+    bool full() const { return state == ZoneState::kFull; }
+};
+
+} // namespace raizn

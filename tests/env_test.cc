@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the storage environments: file round trips, padding
+ * semantics, deletion + zone reclaim, and the zoned cleaner.
+ */
+#include <gtest/gtest.h>
+
+#include "env/block_env.h"
+#include "env/zoned_env.h"
+#include "wkld/setup.h"
+
+namespace raizn {
+namespace {
+
+std::vector<uint8_t>
+bytes_of(const std::string &s)
+{
+    return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+class ZonedEnvTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        BenchScale scale;
+        scale.zones_per_device = 9; // 6 logical zones
+        scale.zone_cap_sectors = 256; // 1 MiB zones
+        scale.data_mode = DataMode::kStore;
+        arr_ = make_raizn_array(scale);
+        env_ = std::make_unique<ZonedEnv>(arr_.loop.get(),
+                                          arr_.vol.get());
+    }
+
+    RaiznArray arr_;
+    std::unique_ptr<ZonedEnv> env_;
+};
+
+TEST_F(ZonedEnvTest, WriteReadRoundTrip)
+{
+    auto f = env_->new_writable("a");
+    ASSERT_TRUE(f.is_ok());
+    ASSERT_TRUE(f.value()->append(bytes_of("hello ")).is_ok());
+    ASSERT_TRUE(f.value()->append(bytes_of("zoned world")).is_ok());
+    ASSERT_TRUE(f.value()->close().is_ok());
+    EXPECT_EQ(env_->file_size("a").value(), 17u);
+
+    auto r = env_->open_readable("a");
+    ASSERT_TRUE(r.is_ok());
+    auto data = r.value()->read(0, 17);
+    ASSERT_TRUE(data.is_ok());
+    EXPECT_EQ(std::string(data.value().begin(), data.value().end()),
+              "hello zoned world");
+    // Partial read at an offset.
+    data = r.value()->read(6, 5);
+    EXPECT_EQ(std::string(data.value().begin(), data.value().end()),
+              "zoned");
+}
+
+TEST_F(ZonedEnvTest, LargeFileSpansZones)
+{
+    auto f = env_->new_writable("big");
+    ASSERT_TRUE(f.is_ok());
+    // 2.5 zones worth of data.
+    std::vector<uint8_t> chunk(256 * kKiB);
+    for (size_t i = 0; i < chunk.size(); ++i)
+        chunk[i] = static_cast<uint8_t>(i * 7);
+    size_t total = 0;
+    while (total < 10 * kMiB) {
+        ASSERT_TRUE(f.value()->append(chunk).is_ok());
+        total += chunk.size();
+    }
+    ASSERT_TRUE(f.value()->close().is_ok());
+    auto r = env_->open_readable("big");
+    ASSERT_TRUE(r.is_ok());
+    auto data = r.value()->read(5 * kMiB + 3, 1000);
+    ASSERT_TRUE(data.is_ok());
+    for (size_t i = 0; i < 1000; ++i) {
+        size_t off = (5 * kMiB + 3 + i) % chunk.size();
+        ASSERT_EQ(data.value()[i], chunk[off]) << i;
+    }
+}
+
+TEST_F(ZonedEnvTest, SyncPadsButReadsStayCorrect)
+{
+    auto f = env_->new_writable("wal");
+    ASSERT_TRUE(f.is_ok());
+    // Repeated small append+sync, like a WAL: each sync pads to a
+    // sector but the byte stream must read back seamlessly.
+    std::string all;
+    for (int i = 0; i < 10; ++i) {
+        std::string rec = "record-" + std::to_string(i) + ";";
+        ASSERT_TRUE(f.value()->append(bytes_of(rec)).is_ok());
+        ASSERT_TRUE(f.value()->sync().is_ok());
+        all += rec;
+    }
+    auto r = env_->open_readable("wal");
+    auto data = r.value()->read(0, all.size());
+    ASSERT_TRUE(data.is_ok());
+    EXPECT_EQ(std::string(data.value().begin(), data.value().end()), all);
+}
+
+TEST_F(ZonedEnvTest, DeleteReclaimsDeadZones)
+{
+    // Fill two whole logical zones with one file, delete it: the dead
+    // zones reset.
+    auto f = env_->new_writable("dead");
+    std::vector<uint8_t> mb(kMiB, 0xcd);
+    uint64_t zone_bytes = arr_.vol->zone_capacity() * kSectorSize;
+    for (uint64_t written = 0; written < 2 * zone_bytes + kMiB;
+         written += mb.size()) {
+        ASSERT_TRUE(f.value()->append(mb).is_ok());
+    }
+    ASSERT_TRUE(f.value()->close().is_ok());
+    uint64_t resets_before = arr_.vol->stats().zone_resets;
+    ASSERT_TRUE(env_->delete_file("dead").is_ok());
+    EXPECT_GT(arr_.vol->stats().zone_resets, resets_before);
+    EXPECT_FALSE(env_->file_exists("dead"));
+}
+
+TEST_F(ZonedEnvTest, CleanerRelocatesLiveData)
+{
+    // Interleave two files, delete one, then fill until the cleaner
+    // must run; the survivor must stay intact.
+    auto a = env_->new_writable("keep");
+    auto b = env_->new_writable("kill");
+    std::vector<uint8_t> ka(64 * kKiB, 0xaa), kb(64 * kKiB, 0xbb);
+    for (int i = 0; i < 30; ++i) {
+        ASSERT_TRUE(a.value()->append(ka).is_ok());
+        ASSERT_TRUE(a.value()->sync().is_ok());
+        ASSERT_TRUE(b.value()->append(kb).is_ok());
+        ASSERT_TRUE(b.value()->sync().is_ok());
+    }
+    ASSERT_TRUE(a.value()->close().is_ok());
+    ASSERT_TRUE(b.value()->close().is_ok());
+    ASSERT_TRUE(env_->delete_file("kill").is_ok());
+
+    // Fill remaining space to force cleaning.
+    auto c = env_->new_writable("filler");
+    std::vector<uint8_t> mb(256 * kKiB, 0x11);
+    Status st;
+    for (int i = 0; i < 40; ++i) {
+        st = c.value()->append(mb);
+        if (!st)
+            break;
+        st = c.value()->sync();
+        if (!st)
+            break;
+    }
+    ASSERT_TRUE(c.value()->close().is_ok());
+    // The keep file reads back correctly even if relocated.
+    auto r = env_->open_readable("keep");
+    auto data = r.value()->read(10 * 64 * kKiB, 64 * kKiB);
+    ASSERT_TRUE(data.is_ok());
+    for (uint8_t v : data.value())
+        ASSERT_EQ(v, 0xaa);
+}
+
+class BlockEnvTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        BenchScale scale;
+        scale.zones_per_device = 9;
+        scale.zone_cap_sectors = 256;
+        scale.data_mode = DataMode::kStore;
+        arr_ = make_mdraid_array(scale);
+        env_ = std::make_unique<BlockEnv>(arr_.loop.get(),
+                                          arr_.vol.get());
+    }
+
+    MdArray arr_;
+    std::unique_ptr<BlockEnv> env_;
+};
+
+TEST_F(BlockEnvTest, WriteReadRoundTrip)
+{
+    auto f = env_->new_writable("x");
+    ASSERT_TRUE(f.is_ok());
+    ASSERT_TRUE(f.value()->append(bytes_of("block world")).is_ok());
+    ASSERT_TRUE(f.value()->close().is_ok());
+    auto r = env_->open_readable("x");
+    auto data = r.value()->read(0, 11);
+    ASSERT_TRUE(data.is_ok());
+    EXPECT_EQ(std::string(data.value().begin(), data.value().end()),
+              "block world");
+}
+
+TEST_F(BlockEnvTest, TailRewriteAcrossSyncs)
+{
+    auto f = env_->new_writable("wal");
+    std::string all;
+    for (int i = 0; i < 20; ++i) {
+        std::string rec(100, static_cast<char>('a' + i % 26));
+        ASSERT_TRUE(f.value()->append(bytes_of(rec)).is_ok());
+        ASSERT_TRUE(f.value()->sync().is_ok());
+        all += rec;
+    }
+    ASSERT_TRUE(f.value()->close().is_ok());
+    EXPECT_EQ(env_->file_size("wal").value(), all.size());
+    auto r = env_->open_readable("wal");
+    auto data = r.value()->read(0, all.size());
+    ASSERT_TRUE(data.is_ok());
+    EXPECT_EQ(std::string(data.value().begin(), data.value().end()), all);
+}
+
+TEST_F(BlockEnvTest, DeleteFreesSpace)
+{
+    uint64_t before = env_->free_bytes();
+    auto f = env_->new_writable("tmp");
+    std::vector<uint8_t> mb(kMiB, 0x5a);
+    ASSERT_TRUE(f.value()->append(mb).is_ok());
+    ASSERT_TRUE(f.value()->close().is_ok());
+    EXPECT_LT(env_->free_bytes(), before);
+    ASSERT_TRUE(env_->delete_file("tmp").is_ok());
+    EXPECT_EQ(env_->free_bytes(), before);
+}
+
+TEST_F(BlockEnvTest, ManyFilesListAndDelete)
+{
+    for (int i = 0; i < 10; ++i) {
+        auto f = env_->new_writable("f" + std::to_string(i));
+        ASSERT_TRUE(f.value()->append(bytes_of("data")).is_ok());
+        ASSERT_TRUE(f.value()->close().is_ok());
+    }
+    EXPECT_EQ(env_->list_files().size(), 10u);
+    for (int i = 0; i < 10; ++i)
+        ASSERT_TRUE(env_->delete_file("f" + std::to_string(i)).is_ok());
+    EXPECT_TRUE(env_->list_files().empty());
+}
+
+} // namespace
+} // namespace raizn

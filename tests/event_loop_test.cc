@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Unit tests for the discrete-event loop: ordering, determinism,
+ * run modes.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.h"
+
+namespace raizn {
+namespace {
+
+TEST(EventLoopTest, RunsInTimeOrder)
+{
+    EventLoop loop;
+    std::vector<int> order;
+    loop.schedule_at(30, [&] { order.push_back(3); });
+    loop.schedule_at(10, [&] { order.push_back(1); });
+    loop.schedule_at(20, [&] { order.push_back(2); });
+    EXPECT_EQ(loop.run(), 3u);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(loop.now(), 30u);
+}
+
+TEST(EventLoopTest, TiesBreakBySubmissionOrder)
+{
+    EventLoop loop;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        loop.schedule_at(100, [&order, i] { order.push_back(i); });
+    loop.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(EventLoopTest, ScheduleAfterUsesNow)
+{
+    EventLoop loop;
+    Tick fired = 0;
+    loop.schedule_at(50, [&] {
+        loop.schedule_after(25, [&] { fired = loop.now(); });
+    });
+    loop.run();
+    EXPECT_EQ(fired, 75u);
+}
+
+TEST(EventLoopTest, PastSchedulesClampToNow)
+{
+    EventLoop loop;
+    Tick fired = 0;
+    loop.schedule_at(100, [&] {
+        loop.schedule_at(10, [&] { fired = loop.now(); });
+    });
+    loop.run();
+    EXPECT_EQ(fired, 100u);
+}
+
+TEST(EventLoopTest, RunUntilLeavesLaterEvents)
+{
+    EventLoop loop;
+    int fired = 0;
+    loop.schedule_at(10, [&] { fired++; });
+    loop.schedule_at(20, [&] { fired++; });
+    loop.schedule_at(30, [&] { fired++; });
+    EXPECT_EQ(loop.run_until(20), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(loop.now(), 20u);
+    EXPECT_EQ(loop.pending(), 1u);
+    loop.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesClockWhenIdle)
+{
+    EventLoop loop;
+    loop.run_until(500);
+    EXPECT_EQ(loop.now(), 500u);
+}
+
+TEST(EventLoopTest, RunUntilPred)
+{
+    EventLoop loop;
+    int count = 0;
+    for (int i = 1; i <= 5; ++i)
+        loop.schedule_at(static_cast<Tick>(i) * 10, [&] { count++; });
+    EXPECT_TRUE(loop.run_until_pred([&] { return count >= 3; }));
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(loop.now(), 30u);
+    // Predicate that never fires drains the queue and returns false.
+    EXPECT_FALSE(loop.run_until_pred([&] { return count >= 100; }));
+    EXPECT_EQ(count, 5);
+}
+
+TEST(EventLoopTest, RunEventsCountsExactly)
+{
+    EventLoop loop;
+    int count = 0;
+    for (int i = 0; i < 5; ++i)
+        loop.schedule_after(1, [&] { count++; });
+    EXPECT_EQ(loop.run_events(2), 2u);
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(loop.run_events(100), 3u);
+}
+
+TEST(EventLoopTest, CascadedEventsDeterministic)
+{
+    // Two identical runs produce identical event traces.
+    auto trace = [](uint64_t seed) {
+        EventLoop loop;
+        std::vector<Tick> ticks;
+        std::function<void(int)> step = [&](int depth) {
+            ticks.push_back(loop.now());
+            if (depth < 20)
+                loop.schedule_after((seed + depth) % 7 + 1,
+                                    [&step, depth] { step(depth + 1); });
+        };
+        loop.schedule_at(0, [&] { step(0); });
+        loop.run();
+        return ticks;
+    };
+    EXPECT_EQ(trace(3), trace(3));
+}
+
+} // namespace
+} // namespace raizn

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the OLTP layer: table population, transaction mixes, and
+ * result accounting.
+ */
+#include <gtest/gtest.h>
+
+#include "env/zoned_env.h"
+#include "oltp/sysbench.h"
+#include "wkld/setup.h"
+
+namespace raizn {
+namespace {
+
+class OltpTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        BenchScale scale;
+        scale.zones_per_device = 12;
+        scale.zone_cap_sectors = 1024;
+        scale.data_mode = DataMode::kStore;
+        arr_ = make_raizn_array(scale);
+        env_ = std::make_unique<ZonedEnv>(arr_.loop.get(),
+                                          arr_.vol.get());
+        DbOptions opt;
+        opt.memtable_bytes = 512 * kKiB;
+        auto db = Db::open(env_.get(), opt);
+        ASSERT_TRUE(db.is_ok());
+        db_ = std::move(db).value();
+
+        OltpDatabase::Config cfg;
+        cfg.tables = 2;
+        cfg.rows_per_table = 500;
+        oltp_ = std::make_unique<OltpDatabase>(db_.get(), cfg);
+        ASSERT_TRUE(oltp_->prepare().is_ok());
+    }
+
+    RaiznArray arr_;
+    std::unique_ptr<ZonedEnv> env_;
+    std::unique_ptr<Db> db_;
+    std::unique_ptr<OltpDatabase> oltp_;
+};
+
+TEST_F(OltpTest, PreparePopulatesAllRows)
+{
+    auto v = db_->get(OltpDatabase::row_key(0, 0));
+    ASSERT_TRUE(v.is_ok());
+    EXPECT_EQ(v.value().size(), 180u);
+    v = db_->get(OltpDatabase::row_key(1, 499));
+    ASSERT_TRUE(v.is_ok());
+    EXPECT_EQ(db_->get(OltpDatabase::row_key(1, 500)).status().code(),
+              StatusCode::kNotFound);
+}
+
+TEST_F(OltpTest, ReadOnlyTransactions)
+{
+    auto res = run_sysbench(arr_.loop.get(), oltp_.get(),
+                            OltpWorkload::kReadOnly, 20);
+    EXPECT_EQ(res.transactions, 20u);
+    EXPECT_EQ(res.errors, 0u);
+    EXPECT_GT(res.tps(), 0.0);
+    EXPECT_GT(res.latency.p95(), 0u);
+}
+
+TEST_F(OltpTest, WriteOnlyTransactions)
+{
+    auto res = run_sysbench(arr_.loop.get(), oltp_.get(),
+                            OltpWorkload::kWriteOnly, 50);
+    EXPECT_EQ(res.transactions, 50u);
+    EXPECT_EQ(res.errors, 0u);
+    // Updates are visible.
+    EXPECT_GT(db_->stats().puts, 2u * 500u); // prepare + updates
+}
+
+TEST_F(OltpTest, ReadWriteMix)
+{
+    auto res = run_sysbench(arr_.loop.get(), oltp_.get(),
+                            OltpWorkload::kReadWrite, 10);
+    EXPECT_EQ(res.transactions, 10u);
+    EXPECT_EQ(res.errors, 0u);
+}
+
+TEST_F(OltpTest, DeterministicAcrossSeeds)
+{
+    auto a = run_sysbench(arr_.loop.get(), oltp_.get(),
+                          OltpWorkload::kReadOnly, 5, 99);
+    auto b = run_sysbench(arr_.loop.get(), oltp_.get(),
+                          OltpWorkload::kReadOnly, 5, 99);
+    EXPECT_EQ(a.transactions, b.transactions);
+}
+
+} // namespace
+} // namespace raizn

@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Parameterized property tests (TEST_P sweeps):
+ *  - layout invariants across array widths and stripe-unit sizes,
+ *  - write/read round trips across block-size patterns,
+ *  - crash recovery invariants across power-loss seeds,
+ *  - degraded-read correctness for every possible failed device.
+ */
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "raizn_test_util.h"
+
+namespace raizn {
+namespace {
+
+// ---- Layout invariants over (num_devices, su_sectors) ----------------
+
+class LayoutProperty
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>>
+{
+};
+
+TEST_P(LayoutProperty, EveryLbaMapsUniquely)
+{
+    auto [ndev, su] = GetParam();
+    RaiznConfig cfg;
+    cfg.num_devices = ndev;
+    cfg.su_sectors = su;
+    DeviceGeometry g;
+    g.zoned = true;
+    g.nzones = 6;
+    g.zone_size = su * 8;
+    g.zone_capacity = g.zone_size;
+    g.nsectors = g.zone_size * g.nzones;
+    Layout layout(cfg, g);
+
+    // Every logical sector maps to a unique (device, pba), never on
+    // the stripe's parity device, and within its physical zone.
+    std::set<std::pair<uint32_t, uint64_t>> seen;
+    for (uint64_t lba = 0; lba < layout.logical_capacity(); ++lba) {
+        uint32_t dev;
+        uint64_t pba;
+        layout.map_sector(lba, &dev, &pba);
+        ASSERT_TRUE(seen.insert({dev, pba}).second)
+            << "collision at lba " << lba;
+        uint32_t zone = layout.zone_of(lba);
+        uint64_t off = lba - layout.zone_start_lba(zone);
+        uint64_t stripe = off / layout.stripe_sectors();
+        ASSERT_NE(dev, layout.parity_dev(zone, stripe));
+        ASSERT_GE(pba, zone * g.zone_size);
+        ASSERT_LT(pba, zone * g.zone_size + g.zone_capacity);
+    }
+}
+
+TEST_P(LayoutProperty, ProgressInvertsExpectedFill)
+{
+    auto [ndev, su] = GetParam();
+    RaiznConfig cfg;
+    cfg.num_devices = ndev;
+    cfg.su_sectors = su;
+    DeviceGeometry g;
+    g.zoned = true;
+    g.nzones = 5;
+    g.zone_size = su * 6;
+    g.zone_capacity = g.zone_size;
+    g.nsectors = g.zone_size * g.nzones;
+    Layout layout(cfg, g);
+
+    // For any logical fill L, the device holding the most data must
+    // imply progress exactly L.
+    for (uint64_t L = 0; L <= layout.logical_zone_cap(); ++L) {
+        uint64_t max_progress = 0;
+        for (uint32_t d = 0; d < ndev; ++d) {
+            // Expected physical fill of device d at logical fill L.
+            uint64_t fs = L / layout.stripe_sectors();
+            uint64_t rem = L % layout.stripe_sectors();
+            uint64_t e = fs * su;
+            if (rem > 0) {
+                int pos = layout.data_pos_of_dev(0, fs, d);
+                if (pos >= 0) {
+                    uint64_t start = static_cast<uint64_t>(pos) * su;
+                    if (rem > start)
+                        e += std::min<uint64_t>(su, rem - start);
+                }
+            }
+            max_progress = std::max(
+                max_progress, layout.progress_from_device(0, d, e));
+        }
+        ASSERT_EQ(max_progress, L) << "fill " << L;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, LayoutProperty,
+    ::testing::Combine(::testing::Values(3u, 4u, 5u, 8u),
+                       ::testing::Values(2u, 4u, 16u)));
+
+// ---- Write/read round trips over block sizes --------------------------
+
+class RoundTripProperty : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(RoundTripProperty, SequentialPatternSurvivesRemount)
+{
+    uint32_t bs = GetParam();
+    TestArray arr;
+    arr.make();
+    uint64_t cap = arr.vol->zone_capacity();
+    uint64_t lba = 0;
+    uint64_t seed = 100;
+    while (lba + bs <= cap / 2) {
+        arr.write_pattern(lba, bs, seed + lba);
+        lba += bs;
+    }
+    ASSERT_TRUE(arr.remount().is_ok());
+    uint64_t check = 0;
+    while (check + bs <= cap / 2) {
+        arr.expect_pattern(check, bs, seed + check);
+        check += bs;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, RoundTripProperty,
+                         ::testing::Values(1u, 3u, 4u, 7u, 16u, 24u,
+                                           64u));
+
+// ---- Crash recovery across power-loss seeds ----------------------------
+
+class CrashSeedProperty : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(CrashSeedProperty, FlushedPrefixAlwaysSurvives)
+{
+    uint64_t seed = GetParam();
+    TestArray arr;
+    arr.make();
+    Rng rng(seed);
+    uint64_t wp = 0;
+    uint64_t flushed = 0;
+    for (int op = 0; op < 8; ++op) {
+        uint32_t n = static_cast<uint32_t>(rng.next_range(1, 24));
+        if (wp + n > arr.vol->zone_capacity())
+            break;
+        arr.write_pattern(wp, n, seed * 100 + op);
+        wp += n;
+        if (rng.next_bool(0.5)) {
+            ASSERT_TRUE(arr.flush().status.is_ok());
+            flushed = wp;
+        }
+    }
+    ASSERT_TRUE(arr.crash_and_remount(
+                       {PowerLossSpec::Policy::kRandom, seed})
+                    .is_ok());
+    uint64_t new_wp = arr.vol->zone_info(0).value().wp;
+    EXPECT_GE(new_wp, flushed);
+    // Every surviving sector is readable without error.
+    if (new_wp > 0) {
+        auto r = arr.read(0, static_cast<uint32_t>(new_wp));
+        EXPECT_TRUE(r.status.is_ok()) << r.status.to_string();
+    }
+    // Volume still writable at the recovered write pointer.
+    if (new_wp + 4 <= arr.vol->zone_capacity()) {
+        arr.write_pattern(new_wp, 4, 777);
+        arr.expect_pattern(new_wp, 4, 777);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashSeedProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// ---- Degraded reads for every failed device ---------------------------
+
+class DegradedProperty : public ::testing::TestWithParam<uint32_t>
+{
+};
+
+TEST_P(DegradedProperty, AnySingleDeviceLossIsTransparent)
+{
+    uint32_t victim = GetParam();
+    TestArray arr;
+    arr.make();
+    // Mixed fill: full stripes plus a partial tail.
+    arr.write_pattern(0, 128, 1);
+    arr.write_pattern(128, 20, 2);
+    arr.vol->mark_device_failed(victim);
+    arr.expect_pattern(0, 128, 1);
+    arr.expect_pattern(128, 20, 2);
+    // Degraded writes too.
+    arr.write_pattern(148, 40, 3);
+    arr.expect_pattern(148, 40, 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Victims, DegradedProperty,
+                         ::testing::Range(0u, 5u));
+
+} // namespace
+} // namespace raizn

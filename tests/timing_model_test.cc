@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Unit tests for the device service-time model: bandwidth saturation,
+ * overhead domination at small blocks, flush/drain semantics, and
+ * calibration against the paper's measured device throughput.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.h"
+#include "zns/timing_model.h"
+
+namespace raizn {
+namespace {
+
+TEST(TimingModelTest, SequentialOpsQueuePerUnit)
+{
+    EventLoop loop;
+    TimingParams p;
+    p.units = 1;
+    p.read_overhead = 10 * kNsPerUs;
+    p.read_bw_mibs = 1024.0;
+    TimingModel tm(loop, p);
+    Tick t1 = tm.read_done(1);
+    Tick t2 = tm.read_done(1);
+    EXPECT_GT(t1, 0u);
+    EXPECT_EQ(t2 - t1, t1) << "single unit serializes";
+}
+
+TEST(TimingModelTest, ParallelUnitsOverlap)
+{
+    EventLoop loop;
+    TimingParams p;
+    p.units = 4;
+    TimingModel tm(loop, p);
+    Tick t1 = tm.read_done(16);
+    Tick t2 = tm.read_done(16);
+    Tick t3 = tm.read_done(16);
+    Tick t4 = tm.read_done(16);
+    EXPECT_EQ(t1, t2);
+    EXPECT_EQ(t3, t4);
+    // Fifth op queues behind the first.
+    Tick t5 = tm.read_done(16);
+    EXPECT_GT(t5, t1);
+}
+
+TEST(TimingModelTest, WriteBandwidthCalibration)
+{
+    // Saturated large writes must hit the configured aggregate
+    // bandwidth within 5%.
+    EventLoop loop;
+    TimingParams p = TimingParams::zns();
+    TimingModel tm(loop, p);
+    constexpr uint32_t kSectors = 256; // 1 MiB
+    constexpr int kOps = 512;
+    Tick last = 0;
+    for (int i = 0; i < kOps; ++i)
+        last = tm.write_done(kSectors);
+    double mibs = mib_per_sec(static_cast<uint64_t>(kOps) * kSectors *
+                                  kSectorSize,
+                              last);
+    EXPECT_NEAR(mibs, p.write_bw_mibs, p.write_bw_mibs * 0.05);
+}
+
+TEST(TimingModelTest, ReadBandwidthCalibration)
+{
+    EventLoop loop;
+    TimingParams p = TimingParams::zns();
+    TimingModel tm(loop, p);
+    Tick last = 0;
+    for (int i = 0; i < 512; ++i)
+        last = tm.read_done(256);
+    double mibs = mib_per_sec(512ull * 256 * kSectorSize, last);
+    EXPECT_NEAR(mibs, p.read_bw_mibs, p.read_bw_mibs * 0.05);
+}
+
+TEST(TimingModelTest, SmallBlocksAreOverheadBound)
+{
+    EventLoop loop;
+    TimingParams p = TimingParams::zns();
+    TimingModel tm(loop, p);
+    Tick last = 0;
+    for (int i = 0; i < 2048; ++i)
+        last = tm.read_done(1); // 4 KiB
+    double mibs = mib_per_sec(2048ull * kSectorSize, last);
+    // Far below aggregate bandwidth: IOPS-limited.
+    EXPECT_LT(mibs, p.read_bw_mibs / 2);
+    double iops = mibs * kMiB / kSectorSize;
+    double expect_iops = static_cast<double>(p.units) /
+        (static_cast<double>(p.read_overhead) / kNsPerSec +
+         kSectorSize / (p.read_bw_mibs * kMiB / p.units));
+    EXPECT_NEAR(iops, expect_iops, expect_iops * 0.05);
+}
+
+TEST(TimingModelTest, FlushWaitsForDrain)
+{
+    EventLoop loop;
+    TimingParams p = TimingParams::zns();
+    TimingModel tm(loop, p);
+    Tick w = tm.write_done(256);
+    Tick f = tm.flush_done();
+    EXPECT_GE(f, w + p.flush_latency);
+}
+
+TEST(TimingModelTest, ConventionalPresetSlightlyFaster)
+{
+    TimingParams zns = TimingParams::zns();
+    TimingParams conv = TimingParams::conventional();
+    EXPECT_GT(conv.read_bw_mibs, zns.read_bw_mibs);
+    EXPECT_GT(conv.write_bw_mibs, zns.write_bw_mibs);
+    EXPECT_NEAR(zns.write_bw_mibs / conv.write_bw_mibs, 0.98, 0.01);
+    EXPECT_NEAR(zns.read_bw_mibs / conv.read_bw_mibs, 0.96, 0.01);
+}
+
+TEST(TimingModelTest, InternalCopyOccupiesUnits)
+{
+    // GC copies delay subsequent host IO.
+    EventLoop loop;
+    TimingParams p;
+    p.units = 2;
+    TimingModel tm(loop, p);
+    Tick before = tm.read_done(1);
+    TimingModel tm2(loop, p);
+    for (int i = 0; i < 8; ++i)
+        tm2.internal_copy_done(64);
+    Tick after = tm2.read_done(1);
+    EXPECT_GT(after, before);
+}
+
+} // namespace
+} // namespace raizn

@@ -1,0 +1,351 @@
+/**
+ * @file
+ * Unit tests for the emulated ZNS device: zone state machine, write
+ * pointer rule, append, open/active limits, persistence + power loss,
+ * failure injection.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.h"
+#include "zns/zns_device.h"
+
+namespace raizn {
+namespace {
+
+ZnsDeviceConfig
+small_config()
+{
+    ZnsDeviceConfig cfg;
+    cfg.nzones = 8;
+    cfg.zone_size = 64; // 256 KiB zones
+    cfg.zone_capacity = 48; // capacity < size, like real devices
+    cfg.max_open_zones = 3;
+    cfg.max_active_zones = 4;
+    cfg.atomic_write_sectors = 4;
+    return cfg;
+}
+
+class ZnsDeviceTest : public ::testing::Test
+{
+  protected:
+    ZnsDeviceTest() : dev_(&loop_, small_config()) {}
+
+    IoResult
+    run(IoRequest req)
+    {
+        return submit_sync(loop_, dev_, std::move(req));
+    }
+
+    EventLoop loop_;
+    ZnsDevice dev_;
+};
+
+TEST_F(ZnsDeviceTest, GeometryDerivedFromConfig)
+{
+    const auto &g = dev_.geometry();
+    EXPECT_TRUE(g.zoned);
+    EXPECT_EQ(g.nzones, 8u);
+    EXPECT_EQ(g.zone_size, 64u);
+    EXPECT_EQ(g.zone_capacity, 48u);
+    EXPECT_EQ(g.nsectors, 8u * 64u);
+}
+
+TEST_F(ZnsDeviceTest, SequentialWriteAdvancesWp)
+{
+    auto r = run(IoRequest::write(0, pattern_data(4, 1)));
+    ASSERT_TRUE(r.status.is_ok()) << r.status.to_string();
+    auto zi = dev_.zone_info(0);
+    ASSERT_TRUE(zi.is_ok());
+    EXPECT_EQ(zi.value().wp, 4u);
+    EXPECT_EQ(zi.value().state, ZoneState::kImplicitOpen);
+
+    r = run(IoRequest::write(4, pattern_data(4, 2)));
+    EXPECT_TRUE(r.status.is_ok());
+    EXPECT_EQ(dev_.zone_info(0).value().wp, 8u);
+}
+
+TEST_F(ZnsDeviceTest, NonSequentialWriteRejected)
+{
+    ASSERT_TRUE(run(IoRequest::write(0, pattern_data(4, 1))).status);
+    auto r = run(IoRequest::write(8, pattern_data(4, 2)));
+    EXPECT_EQ(r.status.code(), StatusCode::kWritePointerMismatch);
+    // Rewriting the start is also a WP mismatch (no overwrites).
+    r = run(IoRequest::write(0, pattern_data(4, 3)));
+    EXPECT_EQ(r.status.code(), StatusCode::kWritePointerMismatch);
+}
+
+TEST_F(ZnsDeviceTest, WriteBeyondCapacityRejected)
+{
+    // Zone capacity is 48; writing 48 fills it, 49 would cross.
+    auto r = run(IoRequest::write_len(0, 49));
+    EXPECT_EQ(r.status.code(), StatusCode::kZoneBoundary);
+    r = run(IoRequest::write_len(0, 48));
+    EXPECT_TRUE(r.status.is_ok());
+    EXPECT_EQ(dev_.zone_info(0).value().state, ZoneState::kFull);
+    // Full zone rejects further writes.
+    r = run(IoRequest::write_len(48, 1));
+    EXPECT_EQ(r.status.code(), StatusCode::kNoSpace);
+}
+
+TEST_F(ZnsDeviceTest, ReadBackMatchesWritten)
+{
+    auto payload = pattern_data(8, 99);
+    ASSERT_TRUE(run(IoRequest::write(0, payload)).status);
+    auto r = run(IoRequest::read(0, 8));
+    ASSERT_TRUE(r.status.is_ok());
+    EXPECT_EQ(r.data, payload);
+}
+
+TEST_F(ZnsDeviceTest, UnwrittenSectorsReadZero)
+{
+    ASSERT_TRUE(run(IoRequest::write(0, pattern_data(2, 5))).status);
+    auto r = run(IoRequest::read(2, 4));
+    ASSERT_TRUE(r.status.is_ok());
+    for (uint8_t b : r.data)
+        EXPECT_EQ(b, 0);
+}
+
+TEST_F(ZnsDeviceTest, AppendReturnsAssignedLba)
+{
+    auto r = run(IoRequest::append(64, pattern_data(4, 1)));
+    ASSERT_TRUE(r.status.is_ok());
+    EXPECT_EQ(r.lba, 64u);
+    r = run(IoRequest::append(64, pattern_data(4, 2)));
+    ASSERT_TRUE(r.status.is_ok());
+    EXPECT_EQ(r.lba, 68u);
+    EXPECT_EQ(dev_.zone_info(1).value().wp, 72u);
+}
+
+TEST_F(ZnsDeviceTest, AppendMustTargetZoneStart)
+{
+    auto r = run(IoRequest::append(70, pattern_data(4, 1)));
+    EXPECT_EQ(r.status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ZnsDeviceTest, ZoneResetReturnsToEmpty)
+{
+    ASSERT_TRUE(run(IoRequest::write(0, pattern_data(8, 1))).status);
+    auto r = run(IoRequest::zone_reset(0));
+    ASSERT_TRUE(r.status.is_ok());
+    auto zi = dev_.zone_info(0).value();
+    EXPECT_EQ(zi.state, ZoneState::kEmpty);
+    EXPECT_EQ(zi.wp, 0u);
+    // Data is gone.
+    auto rd = run(IoRequest::read(0, 8));
+    for (uint8_t b : rd.data)
+        EXPECT_EQ(b, 0);
+    // Zone is writable from the start again.
+    EXPECT_TRUE(run(IoRequest::write(0, pattern_data(1, 2))).status);
+}
+
+TEST_F(ZnsDeviceTest, ZoneFinishMakesFull)
+{
+    ASSERT_TRUE(run(IoRequest::write_len(0, 4)).status);
+    auto r = run(IoRequest::zone_finish(0));
+    ASSERT_TRUE(r.status.is_ok());
+    EXPECT_EQ(dev_.zone_info(0).value().state, ZoneState::kFull);
+    EXPECT_EQ(run(IoRequest::write_len(4, 1)).status.code(),
+              StatusCode::kNoSpace);
+}
+
+TEST_F(ZnsDeviceTest, OpenLimitAutoClosesImplicit)
+{
+    // max_open = 3; writing to 4 zones auto-closes the LRU one.
+    for (uint32_t z = 0; z < 4; ++z) {
+        ASSERT_TRUE(
+            run(IoRequest::write_len(z * 64, 4)).status.is_ok());
+    }
+    EXPECT_EQ(dev_.open_zone_count(), 3u);
+    EXPECT_EQ(dev_.active_zone_count(), 4u);
+    EXPECT_EQ(dev_.zone_info(0).value().state, ZoneState::kClosed);
+    // Writing to the closed zone re-opens it (evicting another).
+    ASSERT_TRUE(run(IoRequest::write_len(4, 4)).status.is_ok());
+    EXPECT_EQ(dev_.zone_info(0).value().state, ZoneState::kImplicitOpen);
+}
+
+TEST_F(ZnsDeviceTest, ActiveLimitRejectsNewZone)
+{
+    for (uint32_t z = 0; z < 4; ++z)
+        ASSERT_TRUE(run(IoRequest::write_len(z * 64, 4)).status.is_ok());
+    // 4 active zones = max_active; a 5th must be rejected.
+    auto r = run(IoRequest::write_len(4 * 64, 4));
+    EXPECT_EQ(r.status.code(), StatusCode::kTooManyOpenZones);
+    // Resetting one frees an active slot.
+    ASSERT_TRUE(run(IoRequest::zone_reset(0)).status.is_ok());
+    EXPECT_TRUE(run(IoRequest::write_len(4 * 64, 4)).status.is_ok());
+}
+
+TEST_F(ZnsDeviceTest, PowerCutDropsVolatileCache)
+{
+    ASSERT_TRUE(run(IoRequest::write(0, pattern_data(8, 1))).status);
+    dev_.power_cut({PowerLossSpec::Policy::kDropCache, 1});
+    dev_.reattach(&loop_);
+    EXPECT_EQ(dev_.zone_info(0).value().wp, 0u);
+    EXPECT_EQ(dev_.zone_info(0).value().state, ZoneState::kEmpty);
+}
+
+TEST_F(ZnsDeviceTest, FlushMakesDataDurable)
+{
+    ASSERT_TRUE(run(IoRequest::write(0, pattern_data(8, 7))).status);
+    ASSERT_TRUE(run(IoRequest::flush()).status);
+    ASSERT_TRUE(run(IoRequest::write(8, pattern_data(4, 8))).status);
+    dev_.power_cut({PowerLossSpec::Policy::kDropCache, 1});
+    dev_.reattach(&loop_);
+    auto zi = dev_.zone_info(0).value();
+    EXPECT_EQ(zi.wp, 8u); // flushed prefix survives, tail lost
+    auto r = run(IoRequest::read(0, 8));
+    EXPECT_EQ(r.data, pattern_data(8, 7));
+}
+
+TEST_F(ZnsDeviceTest, FuaWriteDurableAtCompletion)
+{
+    ASSERT_TRUE(run(IoRequest::write(0, pattern_data(4, 1))).status);
+    auto fua = IoRequest::write(4, pattern_data(4, 2), /*fua=*/true);
+    ASSERT_TRUE(run(std::move(fua)).status);
+    dev_.power_cut({PowerLossSpec::Policy::kDropCache, 1});
+    dev_.reattach(&loop_);
+    // FUA persists the write and (NAND program order) the zone prefix.
+    EXPECT_EQ(dev_.zone_info(0).value().wp, 8u);
+}
+
+TEST_F(ZnsDeviceTest, PreflushPersistsOtherZones)
+{
+    ASSERT_TRUE(run(IoRequest::write(0, pattern_data(4, 1))).status);
+    IoRequest req = IoRequest::write(64, pattern_data(4, 2));
+    req.preflush = true;
+    ASSERT_TRUE(run(std::move(req)).status);
+    dev_.power_cut({PowerLossSpec::Policy::kDropCache, 1});
+    dev_.reattach(&loop_);
+    // Zone 0 was persisted by the preflush; zone 1's own write was not.
+    EXPECT_EQ(dev_.zone_info(0).value().wp, 4u);
+    EXPECT_EQ(dev_.zone_info(1).value().wp, 64u);
+}
+
+TEST_F(ZnsDeviceTest, RandomPowerLossKeepsPrefixAtAtomicGranularity)
+{
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+        ZnsDevice dev(&loop_, small_config());
+        ASSERT_TRUE(
+            submit_sync(loop_, dev, IoRequest::write(0, pattern_data(4, 1)))
+                .status.is_ok());
+        ASSERT_TRUE(
+            submit_sync(loop_, dev, IoRequest::flush()).status.is_ok());
+        ASSERT_TRUE(submit_sync(loop_, dev,
+                                IoRequest::write(4, pattern_data(12, 2)))
+                        .status.is_ok());
+        dev.power_cut({PowerLossSpec::Policy::kRandom, seed});
+        dev.reattach(&loop_);
+        uint64_t wp = dev.zone_info(0).value().wp;
+        EXPECT_GE(wp, 4u) << "durable prefix must survive";
+        EXPECT_LE(wp, 16u);
+        EXPECT_EQ(wp % 4, 0u) << "survival at atomic granularity";
+    }
+}
+
+TEST_F(ZnsDeviceTest, StaleCompletionsDropAfterPowerCut)
+{
+    // Submit a write but cut power before its completion fires.
+    bool called = false;
+    dev_.submit(IoRequest::write(0, pattern_data(4, 1)),
+                [&](IoResult) { called = true; });
+    dev_.power_cut({PowerLossSpec::Policy::kDropCache, 1});
+    dev_.reattach(&loop_);
+    loop_.run();
+    EXPECT_FALSE(called) << "completion from before power cut leaked";
+}
+
+TEST_F(ZnsDeviceTest, FailedDeviceErrorsAllIo)
+{
+    dev_.fail();
+    EXPECT_EQ(run(IoRequest::read(0, 1)).status.code(),
+              StatusCode::kOffline);
+    EXPECT_EQ(run(IoRequest::write_len(0, 1)).status.code(),
+              StatusCode::kOffline);
+    EXPECT_TRUE(dev_.failed());
+}
+
+TEST_F(ZnsDeviceTest, ReplaceRestoresFreshDevice)
+{
+    ASSERT_TRUE(run(IoRequest::write(0, pattern_data(8, 1))).status);
+    dev_.fail();
+    dev_.replace();
+    EXPECT_FALSE(dev_.failed());
+    auto zi = dev_.zone_info(0).value();
+    EXPECT_EQ(zi.state, ZoneState::kEmpty);
+    EXPECT_EQ(zi.wp, 0u);
+}
+
+TEST_F(ZnsDeviceTest, TimingLargeWritesApproachBandwidth)
+{
+    // Issue 64 MiB of 1 MiB writes at high queue depth and check the
+    // simulated throughput is near the configured write bandwidth.
+    ZnsDeviceConfig cfg;
+    cfg.nzones = 8;
+    cfg.zone_size = 1 * kGiB / kSectorSize / 8;
+    cfg.data_mode = DataMode::kNone;
+    ZnsDevice dev(&loop_, cfg);
+    Tick start = loop_.now();
+    int outstanding = 0;
+    uint64_t lba = 0;
+    constexpr uint32_t kIoSectors = 256; // 1 MiB
+    for (int i = 0; i < 64; ++i) {
+        dev.submit(IoRequest::write_len(lba, kIoSectors),
+                   [&](IoResult r) {
+                       ASSERT_TRUE(r.status.is_ok());
+                       outstanding--;
+                   });
+        lba += kIoSectors;
+        outstanding++;
+    }
+    loop_.run();
+    EXPECT_EQ(outstanding, 0);
+    double mibs = mib_per_sec(64 * kMiB, loop_.now() - start);
+    EXPECT_GT(mibs, 700.0);
+    EXPECT_LT(mibs, 1100.0);
+}
+
+TEST_F(ZnsDeviceTest, ReadsFasterThanWrites)
+{
+    ZnsDeviceConfig cfg;
+    cfg.nzones = 4;
+    cfg.zone_size = 65536;
+    cfg.data_mode = DataMode::kNone;
+    ZnsDevice dev(&loop_, cfg);
+    // Fill one zone.
+    for (int i = 0; i < 16; ++i) {
+        ASSERT_TRUE(submit_sync(loop_, dev,
+                                IoRequest::write_len(i * 256u, 256))
+                        .status.is_ok());
+    }
+    auto timed = [&](IoOp op) {
+        Tick start = loop_.now();
+        int left = 16;
+        for (int i = 0; i < 16; ++i) {
+            IoRequest r;
+            r.op = op;
+            r.slba = static_cast<uint64_t>(i) * 256;
+            r.nsectors = 256;
+            dev.submit(std::move(r), [&](IoResult res) {
+                ASSERT_TRUE(res.status.is_ok());
+                left--;
+            });
+        }
+        loop_.run();
+        EXPECT_EQ(left, 0);
+        return loop_.now() - start;
+    };
+    Tick read_time = timed(IoOp::kRead);
+    // Second batch of writes goes to zone 1.
+    Tick wstart = loop_.now();
+    for (int i = 0; i < 16; ++i) {
+        ASSERT_TRUE(
+            submit_sync(loop_, dev,
+                        IoRequest::write_len(65536 + i * 256u, 256))
+                .status.is_ok());
+    }
+    Tick write_time = loop_.now() - wstart;
+    EXPECT_LT(read_time, write_time);
+}
+
+} // namespace
+} // namespace raizn
