@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_parity.dir/bench_ablation_parity.cc.o"
+  "CMakeFiles/bench_ablation_parity.dir/bench_ablation_parity.cc.o.d"
+  "bench_ablation_parity"
+  "bench_ablation_parity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

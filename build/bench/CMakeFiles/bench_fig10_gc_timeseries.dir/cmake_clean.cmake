@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_gc_timeseries.dir/bench_fig10_gc_timeseries.cc.o"
+  "CMakeFiles/bench_fig10_gc_timeseries.dir/bench_fig10_gc_timeseries.cc.o.d"
+  "bench_fig10_gc_timeseries"
+  "bench_fig10_gc_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_gc_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

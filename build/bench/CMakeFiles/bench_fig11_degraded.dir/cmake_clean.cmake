@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_degraded.dir/bench_fig11_degraded.cc.o"
+  "CMakeFiles/bench_fig11_degraded.dir/bench_fig11_degraded.cc.o.d"
+  "bench_fig11_degraded"
+  "bench_fig11_degraded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_degraded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

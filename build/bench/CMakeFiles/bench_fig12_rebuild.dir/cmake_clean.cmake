@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_rebuild.dir/bench_fig12_rebuild.cc.o"
+  "CMakeFiles/bench_fig12_rebuild.dir/bench_fig12_rebuild.cc.o.d"
+  "bench_fig12_rebuild"
+  "bench_fig12_rebuild.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_rebuild.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_rocksdb.dir/bench_fig13_rocksdb.cc.o"
+  "CMakeFiles/bench_fig13_rocksdb.dir/bench_fig13_rocksdb.cc.o.d"
+  "bench_fig13_rocksdb"
+  "bench_fig13_rocksdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_rocksdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

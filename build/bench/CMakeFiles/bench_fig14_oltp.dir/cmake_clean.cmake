@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_oltp.dir/bench_fig14_oltp.cc.o"
+  "CMakeFiles/bench_fig14_oltp.dir/bench_fig14_oltp.cc.o.d"
+  "bench_fig14_oltp"
+  "bench_fig14_oltp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_oltp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_mdraid_stripe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_raizn_stripe.dir/bench_fig8_raizn_stripe.cc.o"
+  "CMakeFiles/bench_fig8_raizn_stripe.dir/bench_fig8_raizn_stripe.cc.o.d"
+  "bench_fig8_raizn_stripe"
+  "bench_fig8_raizn_stripe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_raizn_stripe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

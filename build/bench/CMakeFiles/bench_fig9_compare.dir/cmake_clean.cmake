@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_compare.dir/bench_fig9_compare.cc.o"
+  "CMakeFiles/bench_fig9_compare.dir/bench_fig9_compare.cc.o.d"
+  "bench_fig9_compare"
+  "bench_fig9_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_raw_devices.dir/bench_raw_devices.cc.o"
+  "CMakeFiles/bench_raw_devices.dir/bench_raw_devices.cc.o.d"
+  "bench_raw_devices"
+  "bench_raw_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_raw_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

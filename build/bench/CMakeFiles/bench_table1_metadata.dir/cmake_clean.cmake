@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_metadata.dir/bench_table1_metadata.cc.o"
+  "CMakeFiles/bench_table1_metadata.dir/bench_table1_metadata.cc.o.d"
+  "bench_table1_metadata"
+  "bench_table1_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

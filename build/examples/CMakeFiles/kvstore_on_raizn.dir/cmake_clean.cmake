@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_on_raizn.dir/kvstore_on_raizn.cpp.o"
+  "CMakeFiles/kvstore_on_raizn.dir/kvstore_on_raizn.cpp.o.d"
+  "kvstore_on_raizn"
+  "kvstore_on_raizn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_on_raizn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rebuild_demo.dir/rebuild_demo.cpp.o"
+  "CMakeFiles/rebuild_demo.dir/rebuild_demo.cpp.o.d"
+  "rebuild_demo"
+  "rebuild_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rebuild_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raizn_common.dir/common/crc32.cc.o"
+  "CMakeFiles/raizn_common.dir/common/crc32.cc.o.d"
+  "CMakeFiles/raizn_common.dir/common/histogram.cc.o"
+  "CMakeFiles/raizn_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/raizn_common.dir/common/logging.cc.o"
+  "CMakeFiles/raizn_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/raizn_common.dir/common/rng.cc.o"
+  "CMakeFiles/raizn_common.dir/common/rng.cc.o.d"
+  "libraizn_common.a"
+  "libraizn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raizn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

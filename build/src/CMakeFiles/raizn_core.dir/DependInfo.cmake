@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raizn/gen_counter.cc" "src/CMakeFiles/raizn_core.dir/raizn/gen_counter.cc.o" "gcc" "src/CMakeFiles/raizn_core.dir/raizn/gen_counter.cc.o.d"
+  "/root/repo/src/raizn/layout.cc" "src/CMakeFiles/raizn_core.dir/raizn/layout.cc.o" "gcc" "src/CMakeFiles/raizn_core.dir/raizn/layout.cc.o.d"
+  "/root/repo/src/raizn/md_manager.cc" "src/CMakeFiles/raizn_core.dir/raizn/md_manager.cc.o" "gcc" "src/CMakeFiles/raizn_core.dir/raizn/md_manager.cc.o.d"
+  "/root/repo/src/raizn/metadata.cc" "src/CMakeFiles/raizn_core.dir/raizn/metadata.cc.o" "gcc" "src/CMakeFiles/raizn_core.dir/raizn/metadata.cc.o.d"
+  "/root/repo/src/raizn/rebuild.cc" "src/CMakeFiles/raizn_core.dir/raizn/rebuild.cc.o" "gcc" "src/CMakeFiles/raizn_core.dir/raizn/rebuild.cc.o.d"
+  "/root/repo/src/raizn/recovery.cc" "src/CMakeFiles/raizn_core.dir/raizn/recovery.cc.o" "gcc" "src/CMakeFiles/raizn_core.dir/raizn/recovery.cc.o.d"
+  "/root/repo/src/raizn/relocation.cc" "src/CMakeFiles/raizn_core.dir/raizn/relocation.cc.o" "gcc" "src/CMakeFiles/raizn_core.dir/raizn/relocation.cc.o.d"
+  "/root/repo/src/raizn/stripe_buffer.cc" "src/CMakeFiles/raizn_core.dir/raizn/stripe_buffer.cc.o" "gcc" "src/CMakeFiles/raizn_core.dir/raizn/stripe_buffer.cc.o.d"
+  "/root/repo/src/raizn/superblock.cc" "src/CMakeFiles/raizn_core.dir/raizn/superblock.cc.o" "gcc" "src/CMakeFiles/raizn_core.dir/raizn/superblock.cc.o.d"
+  "/root/repo/src/raizn/volume.cc" "src/CMakeFiles/raizn_core.dir/raizn/volume.cc.o" "gcc" "src/CMakeFiles/raizn_core.dir/raizn/volume.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raizn_zns.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raizn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raizn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raizn_core.dir/raizn/gen_counter.cc.o"
+  "CMakeFiles/raizn_core.dir/raizn/gen_counter.cc.o.d"
+  "CMakeFiles/raizn_core.dir/raizn/layout.cc.o"
+  "CMakeFiles/raizn_core.dir/raizn/layout.cc.o.d"
+  "CMakeFiles/raizn_core.dir/raizn/md_manager.cc.o"
+  "CMakeFiles/raizn_core.dir/raizn/md_manager.cc.o.d"
+  "CMakeFiles/raizn_core.dir/raizn/metadata.cc.o"
+  "CMakeFiles/raizn_core.dir/raizn/metadata.cc.o.d"
+  "CMakeFiles/raizn_core.dir/raizn/rebuild.cc.o"
+  "CMakeFiles/raizn_core.dir/raizn/rebuild.cc.o.d"
+  "CMakeFiles/raizn_core.dir/raizn/recovery.cc.o"
+  "CMakeFiles/raizn_core.dir/raizn/recovery.cc.o.d"
+  "CMakeFiles/raizn_core.dir/raizn/relocation.cc.o"
+  "CMakeFiles/raizn_core.dir/raizn/relocation.cc.o.d"
+  "CMakeFiles/raizn_core.dir/raizn/stripe_buffer.cc.o"
+  "CMakeFiles/raizn_core.dir/raizn/stripe_buffer.cc.o.d"
+  "CMakeFiles/raizn_core.dir/raizn/superblock.cc.o"
+  "CMakeFiles/raizn_core.dir/raizn/superblock.cc.o.d"
+  "CMakeFiles/raizn_core.dir/raizn/volume.cc.o"
+  "CMakeFiles/raizn_core.dir/raizn/volume.cc.o.d"
+  "libraizn_core.a"
+  "libraizn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raizn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raizn_env.dir/env/block_env.cc.o"
+  "CMakeFiles/raizn_env.dir/env/block_env.cc.o.d"
+  "CMakeFiles/raizn_env.dir/env/zoned_env.cc.o"
+  "CMakeFiles/raizn_env.dir/env/zoned_env.cc.o.d"
+  "libraizn_env.a"
+  "libraizn_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raizn_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libraizn_env.a"
+)

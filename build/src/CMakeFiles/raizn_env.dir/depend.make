@@ -1,0 +1,2 @@
+# Empty dependencies file for raizn_env.
+# This may be replaced when dependencies are built.

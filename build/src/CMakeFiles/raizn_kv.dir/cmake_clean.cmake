@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raizn_kv.dir/kv/bloom.cc.o"
+  "CMakeFiles/raizn_kv.dir/kv/bloom.cc.o.d"
+  "CMakeFiles/raizn_kv.dir/kv/db.cc.o"
+  "CMakeFiles/raizn_kv.dir/kv/db.cc.o.d"
+  "CMakeFiles/raizn_kv.dir/kv/sstable.cc.o"
+  "CMakeFiles/raizn_kv.dir/kv/sstable.cc.o.d"
+  "libraizn_kv.a"
+  "libraizn_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raizn_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

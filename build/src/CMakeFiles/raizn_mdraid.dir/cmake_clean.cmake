@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raizn_mdraid.dir/mdraid/md_volume.cc.o"
+  "CMakeFiles/raizn_mdraid.dir/mdraid/md_volume.cc.o.d"
+  "CMakeFiles/raizn_mdraid.dir/mdraid/resync.cc.o"
+  "CMakeFiles/raizn_mdraid.dir/mdraid/resync.cc.o.d"
+  "CMakeFiles/raizn_mdraid.dir/mdraid/stripe_cache.cc.o"
+  "CMakeFiles/raizn_mdraid.dir/mdraid/stripe_cache.cc.o.d"
+  "libraizn_mdraid.a"
+  "libraizn_mdraid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raizn_mdraid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

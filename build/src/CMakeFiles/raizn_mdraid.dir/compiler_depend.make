@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for raizn_mdraid.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raizn_oltp.dir/oltp/sysbench.cc.o"
+  "CMakeFiles/raizn_oltp.dir/oltp/sysbench.cc.o.d"
+  "CMakeFiles/raizn_oltp.dir/oltp/table.cc.o"
+  "CMakeFiles/raizn_oltp.dir/oltp/table.cc.o.d"
+  "libraizn_oltp.a"
+  "libraizn_oltp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raizn_oltp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raizn_sim.dir/sim/event_loop.cc.o"
+  "CMakeFiles/raizn_sim.dir/sim/event_loop.cc.o.d"
+  "libraizn_sim.a"
+  "libraizn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raizn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raizn_wkld.dir/wkld/job.cc.o"
+  "CMakeFiles/raizn_wkld.dir/wkld/job.cc.o.d"
+  "CMakeFiles/raizn_wkld.dir/wkld/runner.cc.o"
+  "CMakeFiles/raizn_wkld.dir/wkld/runner.cc.o.d"
+  "CMakeFiles/raizn_wkld.dir/wkld/sampler.cc.o"
+  "CMakeFiles/raizn_wkld.dir/wkld/sampler.cc.o.d"
+  "CMakeFiles/raizn_wkld.dir/wkld/setup.cc.o"
+  "CMakeFiles/raizn_wkld.dir/wkld/setup.cc.o.d"
+  "libraizn_wkld.a"
+  "libraizn_wkld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raizn_wkld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/zns/block_device.cc" "src/CMakeFiles/raizn_zns.dir/zns/block_device.cc.o" "gcc" "src/CMakeFiles/raizn_zns.dir/zns/block_device.cc.o.d"
+  "/root/repo/src/zns/conv_device.cc" "src/CMakeFiles/raizn_zns.dir/zns/conv_device.cc.o" "gcc" "src/CMakeFiles/raizn_zns.dir/zns/conv_device.cc.o.d"
+  "/root/repo/src/zns/ftl.cc" "src/CMakeFiles/raizn_zns.dir/zns/ftl.cc.o" "gcc" "src/CMakeFiles/raizn_zns.dir/zns/ftl.cc.o.d"
+  "/root/repo/src/zns/timing_model.cc" "src/CMakeFiles/raizn_zns.dir/zns/timing_model.cc.o" "gcc" "src/CMakeFiles/raizn_zns.dir/zns/timing_model.cc.o.d"
+  "/root/repo/src/zns/zns_device.cc" "src/CMakeFiles/raizn_zns.dir/zns/zns_device.cc.o" "gcc" "src/CMakeFiles/raizn_zns.dir/zns/zns_device.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/raizn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/raizn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

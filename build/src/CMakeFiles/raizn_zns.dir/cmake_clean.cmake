@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raizn_zns.dir/zns/block_device.cc.o"
+  "CMakeFiles/raizn_zns.dir/zns/block_device.cc.o.d"
+  "CMakeFiles/raizn_zns.dir/zns/conv_device.cc.o"
+  "CMakeFiles/raizn_zns.dir/zns/conv_device.cc.o.d"
+  "CMakeFiles/raizn_zns.dir/zns/ftl.cc.o"
+  "CMakeFiles/raizn_zns.dir/zns/ftl.cc.o.d"
+  "CMakeFiles/raizn_zns.dir/zns/timing_model.cc.o"
+  "CMakeFiles/raizn_zns.dir/zns/timing_model.cc.o.d"
+  "CMakeFiles/raizn_zns.dir/zns/zns_device.cc.o"
+  "CMakeFiles/raizn_zns.dir/zns/zns_device.cc.o.d"
+  "libraizn_zns.a"
+  "libraizn_zns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raizn_zns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

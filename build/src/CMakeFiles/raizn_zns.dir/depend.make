@@ -1,0 +1,2 @@
+# Empty dependencies file for raizn_zns.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conv_device_test.dir/conv_device_test.cc.o"
+  "CMakeFiles/conv_device_test.dir/conv_device_test.cc.o.d"
+  "conv_device_test"
+  "conv_device_test.pdb"
+  "conv_device_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conv_device_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/md_manager_test.dir/md_manager_test.cc.o"
+  "CMakeFiles/md_manager_test.dir/md_manager_test.cc.o.d"
+  "md_manager_test"
+  "md_manager_test.pdb"
+  "md_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/md_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

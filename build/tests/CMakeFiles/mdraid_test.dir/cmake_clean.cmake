@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mdraid_test.dir/mdraid_test.cc.o"
+  "CMakeFiles/mdraid_test.dir/mdraid_test.cc.o.d"
+  "mdraid_test"
+  "mdraid_test.pdb"
+  "mdraid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mdraid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

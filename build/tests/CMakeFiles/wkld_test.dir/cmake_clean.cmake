@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wkld_test.dir/wkld_test.cc.o"
+  "CMakeFiles/wkld_test.dir/wkld_test.cc.o.d"
+  "wkld_test"
+  "wkld_test.pdb"
+  "wkld_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wkld_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

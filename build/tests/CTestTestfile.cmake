@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/event_loop_test[1]_include.cmake")
+include("/root/repo/build/tests/zns_device_test[1]_include.cmake")
+include("/root/repo/build/tests/conv_device_test[1]_include.cmake")
+include("/root/repo/build/tests/layout_test[1]_include.cmake")
+include("/root/repo/build/tests/metadata_test[1]_include.cmake")
+include("/root/repo/build/tests/volume_test[1]_include.cmake")
+include("/root/repo/build/tests/crash_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_test[1]_include.cmake")
+include("/root/repo/build/tests/mdraid_test[1]_include.cmake")
+include("/root/repo/build/tests/wkld_test[1]_include.cmake")
+include("/root/repo/build/tests/env_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_test[1]_include.cmake")
+include("/root/repo/build/tests/oltp_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/md_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/timing_model_test[1]_include.cmake")
