@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Crash-point exploration CLI. Drives the deterministic crash-point
+ * explorer (src/chk/) from the command line: exhaustive enumeration of
+ * every completion boundary, seeded random sweeps over larger
+ * workloads, or replay of specific crash points when triaging a
+ * failure. Every failing schedule is printed with the exact arguments
+ * that reproduce it.
+ *
+ *   chk_explore explore  [--workload W] [--policy P] [--degraded]
+ *   chk_explore sweep    [--runs N] [--seed S] [--workload W]
+ *   chk_explore replay   --points 12,13,40 [--workload W]
+ *   chk_explore --smoke       # bounded mode for ctest (<30s)
+ *
+ * Workloads: canonical (default), degraded[:dev], random[:seed[:nops]].
+ * Policies: drop (default), keep, random, divergent.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "chk/explorer.h"
+
+using namespace raizn::chk;
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    fprintf(stderr,
+            "usage: %s [explore|sweep|replay] [options]\n"
+            "  --workload canonical|degraded[:dev]|random[:seed[:nops]]\n"
+            "  --policy drop|keep|random|divergent\n"
+            "  --degraded        also re-read degraded after each mount\n"
+            "  --runs N          sweep: number of sampled crash points\n"
+            "  --seed S          sweep: RNG seed\n"
+            "  --points a,b,c    replay: explicit crash points\n"
+            "  --fault skip-pp   plant the skip-partial-parity bug\n"
+            "  --smoke           bounded exhaustive+sweep for ctest\n",
+            argv0);
+    return 2;
+}
+
+ChkWorkload
+parse_workload(const std::string &spec, const ChkGeom &g, bool *ok)
+{
+    *ok = true;
+    if (spec.empty() || spec == "canonical")
+        return canonical_workload(g);
+    if (spec.rfind("degraded", 0) == 0) {
+        uint32_t dev = 1;
+        if (spec.size() > 9 && spec[8] == ':')
+            dev = static_cast<uint32_t>(strtoul(spec.c_str() + 9, nullptr, 0));
+        if (dev >= g.num_devices) {
+            fprintf(stderr, "degraded:%u: device out of range (0-%u)\n",
+                    dev, g.num_devices - 1);
+            *ok = false;
+            return {};
+        }
+        return degraded_workload(g, dev);
+    }
+    if (spec.rfind("random", 0) == 0) {
+        uint64_t seed = 1;
+        uint32_t nops = 12;
+        if (spec.size() > 7 && spec[6] == ':') {
+            char *end = nullptr;
+            seed = strtoull(spec.c_str() + 7, &end, 0);
+            if (end && *end == ':')
+                nops = static_cast<uint32_t>(strtoul(end + 1, nullptr, 0));
+        }
+        return random_workload(g, seed, nops);
+    }
+    *ok = false;
+    return {};
+}
+
+void
+print_report(const char *mode, const ChkReport &rep,
+             const std::string &repro_args)
+{
+    printf("%s: boundaries=%llu runs=%llu failures=%zu\n", mode,
+           (unsigned long long)rep.boundaries, (unsigned long long)rep.runs,
+           rep.failures.size());
+    for (const ChkFailure &f : rep.failures) {
+        printf("  FAIL crash_point=%llu [%s] %s\n",
+               (unsigned long long)f.crash_point, f.invariant.c_str(),
+               f.detail.c_str());
+        printf("    replay: chk_explore replay --points %llu%s\n",
+               (unsigned long long)f.crash_point, repro_args.c_str());
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string mode = "explore";
+    std::string wl_spec = "canonical";
+    std::string policy = "drop";
+    bool degraded = false, smoke = false;
+    uint64_t runs = 64, seed = 1;
+    std::vector<uint64_t> points;
+    auto fault = raizn::RaiznVolume::DebugFault::kNone;
+
+    int i = 1;
+    if (i < argc && argv[i][0] != '-')
+        mode = argv[i++];
+    for (; i < argc; ++i) {
+        std::string a = argv[i];
+        auto next = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : "";
+        };
+        if (a == "--workload") {
+            wl_spec = next();
+        } else if (a == "--policy") {
+            policy = next();
+        } else if (a == "--degraded") {
+            degraded = true;
+        } else if (a == "--runs") {
+            runs = strtoull(next(), nullptr, 0);
+        } else if (a == "--seed") {
+            seed = strtoull(next(), nullptr, 0);
+        } else if (a == "--points") {
+            const char *p = next();
+            while (*p) {
+                points.push_back(strtoull(p, const_cast<char **>(&p), 0));
+                if (*p == ',')
+                    p++;
+            }
+        } else if (a == "--fault") {
+            std::string f = next();
+            if (f != "skip-pp")
+                return usage(argv[0]);
+            fault = raizn::RaiznVolume::DebugFault::kSkipPartialParityLog;
+        } else if (a == "--smoke") {
+            smoke = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    ChkConfig cfg;
+    bool ok = false;
+    ChkWorkload wl = parse_workload(wl_spec, cfg.geom(), &ok);
+    if (!ok)
+        return usage(argv[0]);
+
+    ChkOptions opts;
+    if (policy == "drop") {
+        opts.policy = raizn::PowerLossSpec::Policy::kDropCache;
+    } else if (policy == "keep") {
+        opts.policy = raizn::PowerLossSpec::Policy::kKeepAll;
+    } else if (policy == "random") {
+        opts.policy = raizn::PowerLossSpec::Policy::kRandom;
+        opts.loss_seed = seed;
+    } else if (policy == "divergent") {
+        opts.divergent_loss = true;
+    } else {
+        return usage(argv[0]);
+    }
+    opts.check_degraded = degraded;
+    opts.fault = fault;
+
+    std::string repro = " --workload " + wl_spec + " --policy " + policy;
+    if (fault != raizn::RaiznVolume::DebugFault::kNone)
+        repro += " --fault skip-pp";
+    if (degraded)
+        repro += " --degraded";
+
+    int rc = 0;
+    if (smoke) {
+        // Bounded budget for ctest: one exhaustive pass over the small
+        // degraded workload plus a short sweep of the canonical one.
+        {
+            CrashPointExplorer ex(cfg, degraded_workload(cfg.geom(), 1),
+                                  opts);
+            ChkReport rep = ex.explore_all();
+            print_report("smoke-degraded", rep,
+                         " --workload degraded:1 --policy " + policy);
+            rc |= !rep.ok();
+        }
+        {
+            CrashPointExplorer ex(cfg, canonical_workload(cfg.geom()),
+                                  opts);
+            ChkReport rep = ex.sweep_random(24, seed);
+            print_report("smoke-canonical", rep,
+                         " --workload canonical --policy " + policy);
+            rc |= !rep.ok();
+        }
+    } else if (mode == "explore") {
+        CrashPointExplorer ex(cfg, wl, opts);
+        ChkReport rep = ex.explore_all();
+        print_report("explore", rep, repro);
+        rc = !rep.ok();
+    } else if (mode == "sweep") {
+        CrashPointExplorer ex(cfg, wl, opts);
+        ChkReport rep = ex.sweep_random(runs, seed);
+        print_report("sweep", rep, repro);
+        rc = !rep.ok();
+    } else if (mode == "replay") {
+        if (points.empty())
+            return usage(argv[0]);
+        CrashPointExplorer ex(cfg, wl, opts);
+        ChkReport rep = ex.explore_points(points);
+        print_report("replay", rep, repro);
+        rc = !rep.ok();
+    } else {
+        return usage(argv[0]);
+    }
+    return rc;
+}

@@ -1,0 +1,394 @@
+#include "chk/explorer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "sim/event_loop.h"
+
+namespace raizn::chk {
+
+namespace {
+
+constexpr uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+uint64_t
+mix(uint64_t h, uint64_t v)
+{
+    h ^= v;
+    return h * kFnvPrime;
+}
+
+uint64_t
+hash_event(uint64_t h, uint32_t dev, const ZnsTraceEvent &ev)
+{
+    h = mix(h, dev);
+    h = mix(h, static_cast<uint64_t>(ev.op));
+    h = mix(h, ev.slba);
+    h = mix(h, ev.lba);
+    h = mix(h, ev.nsectors);
+    h = mix(h, (ev.fua ? 1 : 0) | (ev.preflush ? 2 : 0) |
+                   (ev.ok ? 4 : 0));
+    h = mix(h, ev.tick);
+    return h;
+}
+
+/// Sequential workload driver: op N+1 is issued from op N's ack, so
+/// the shadow sees a serial history while each op's device sub-IOs
+/// still interleave. Callbacks capture `this` raw; the driver outlives
+/// the event loop, and abandoned post-crash events are never run.
+struct Driver {
+    const ChkWorkload *wl;
+    RaiznVolume *vol;
+    EventLoop *loop;
+    ShadowVolume *shadow;
+    size_t next = 0;
+    bool done = false;
+    bool op_error = false;
+    std::string detail;
+
+    void
+    fail_op(const ChkOp &op, const Status &st)
+    {
+        op_error = true;
+        done = true;
+        detail = strprintf("op %zu (%s): %s", next - 1,
+                           to_string(op).c_str(),
+                           st.to_string().c_str());
+    }
+
+    void
+    issue()
+    {
+        if (next >= wl->size()) {
+            done = true;
+            return;
+        }
+        const ChkOp op = (*wl)[next++];
+        switch (op.kind) {
+          case OpKind::kWrite: {
+            uint64_t lba = vol->layout().zone_start_lba(op.zone) + op.off;
+            std::vector<uint8_t> data =
+                pattern_data(op.nsectors, op.seed);
+            std::vector<uint64_t> snap;
+            if (op.preflush)
+                snap = shadow->wps();
+            shadow->on_write_submitted(op.zone, op.off, data,
+                                       op.nsectors);
+            WriteFlags fl;
+            fl.fua = op.fua;
+            fl.preflush = op.preflush;
+            uint64_t end_off = op.off + op.nsectors;
+            vol->write(lba, std::move(data), fl,
+                       [this, op, snap = std::move(snap),
+                        end_off](IoResult r) {
+                           if (!r.status.is_ok()) {
+                               fail_op(op, r.status);
+                               return;
+                           }
+                           if (op.preflush)
+                               shadow->on_flush_acked(snap);
+                           shadow->on_write_acked(op.zone, end_off,
+                                                  op.fua);
+                           issue();
+                       });
+            break;
+          }
+          case OpKind::kFlush: {
+            std::vector<uint64_t> snap = shadow->wps();
+            vol->flush([this, op, snap = std::move(snap)](IoResult r) {
+                if (!r.status.is_ok()) {
+                    fail_op(op, r.status);
+                    return;
+                }
+                shadow->on_flush_acked(snap);
+                issue();
+            });
+            break;
+          }
+          case OpKind::kResetZone: {
+            shadow->on_reset_submitted(op.zone);
+            vol->reset_zone(op.zone, [this, op](IoResult r) {
+                if (!r.status.is_ok()) {
+                    fail_op(op, r.status);
+                    return;
+                }
+                shadow->on_reset_acked(op.zone);
+                issue();
+            });
+            break;
+          }
+          case OpKind::kFinishZone: {
+            shadow->on_finish_submitted(op.zone);
+            vol->finish_zone(op.zone, [this, op](IoResult r) {
+                if (!r.status.is_ok()) {
+                    fail_op(op, r.status);
+                    return;
+                }
+                shadow->on_finish_acked(op.zone);
+                issue();
+            });
+            break;
+          }
+          case OpKind::kFailDevice: {
+            vol->mark_device_failed(op.dev);
+            // Step through the loop so the failure lands at a
+            // deterministic schedule position.
+            loop->schedule_after(1, [this] { issue(); });
+            break;
+          }
+        }
+    }
+};
+
+} // namespace
+
+ChkGeom
+ChkConfig::geom() const
+{
+    RaiznConfig rc;
+    rc.num_devices = num_devices;
+    rc.su_sectors = su_sectors;
+    ChkGeom g;
+    g.num_zones = nzones - rc.md_zones_per_device;
+    g.zone_cap = static_cast<uint64_t>(rc.data_units()) * zone_cap;
+    g.stripe_sectors =
+        static_cast<uint64_t>(rc.data_units()) * su_sectors;
+    g.su_sectors = su_sectors;
+    g.num_devices = num_devices;
+    return g;
+}
+
+std::string
+ChkReport::summary() const
+{
+    std::string s = strprintf(
+        "boundaries=%llu runs=%llu failures=%zu",
+        (unsigned long long)boundaries, (unsigned long long)runs,
+        failures.size());
+    size_t show = std::min<size_t>(failures.size(), 5);
+    for (size_t i = 0; i < show; ++i) {
+        s += strprintf("\n  crash_point=%llu [%s] %s",
+                       (unsigned long long)failures[i].crash_point,
+                       failures[i].invariant.c_str(),
+                       failures[i].detail.c_str());
+    }
+    if (failures.size() > show)
+        s += strprintf("\n  ... and %zu more", failures.size() - show);
+    return s;
+}
+
+struct CrashPointExplorer::Array {
+    std::unique_ptr<EventLoop> loop;
+    std::vector<std::unique_ptr<ZnsDevice>> devs;
+    std::unique_ptr<RaiznVolume> vol;
+
+    std::vector<ZnsDevice *>
+    zns_ptrs() const
+    {
+        std::vector<ZnsDevice *> out;
+        for (const auto &d : devs)
+            out.push_back(d.get());
+        return out;
+    }
+    std::vector<BlockDevice *>
+    blk_ptrs() const
+    {
+        std::vector<BlockDevice *> out;
+        for (const auto &d : devs)
+            out.push_back(d.get());
+        return out;
+    }
+};
+
+CrashPointExplorer::CrashPointExplorer(ChkConfig cfg, ChkWorkload wl,
+                                       ChkOptions opts)
+    : cfg_(std::move(cfg)), wl_(std::move(wl)), opts_(std::move(opts))
+{
+}
+
+bool
+CrashPointExplorer::drive(Array &arr, ShadowVolume &shadow,
+                          uint64_t crash_at, uint64_t *completions,
+                          uint64_t *final_hash,
+                          std::vector<uint64_t> *hash_prefix,
+                          ChkReport *rep)
+{
+    arr.loop = std::make_unique<EventLoop>();
+    std::vector<BlockDevice *> ptrs;
+    for (uint32_t i = 0; i < cfg_.num_devices; ++i) {
+        ZnsDeviceConfig dc;
+        dc.nzones = cfg_.nzones;
+        dc.zone_size = cfg_.zone_cap;
+        dc.zone_capacity = cfg_.zone_cap;
+        dc.atomic_write_sectors = cfg_.atomic_write_sectors;
+        dc.data_mode = DataMode::kStore;
+        dc.name = "chk" + std::to_string(i);
+        arr.devs.push_back(
+            std::make_unique<ZnsDevice>(arr.loop.get(), dc));
+        ptrs.push_back(arr.devs.back().get());
+    }
+    RaiznConfig rc;
+    rc.num_devices = cfg_.num_devices;
+    rc.su_sectors = cfg_.su_sectors;
+    auto created = RaiznVolume::create(arr.loop.get(), ptrs, rc);
+    if (!created.is_ok()) {
+        rep->failures.push_back(
+            {crash_at, "setup", created.status().to_string()});
+        return false;
+    }
+    arr.vol = std::move(created).value();
+    arr.vol->set_debug_fault(opts_.fault);
+
+    // Trace every completion from here on; mkfs is excluded so crash
+    // point 0 is "power cut before the workload's first completion".
+    uint64_t hash = kFnvBasis;
+    if (hash_prefix)
+        hash_prefix->assign(1, hash);
+    for (uint32_t d = 0; d < cfg_.num_devices; ++d) {
+        arr.devs[d]->set_trace(
+            [d, completions, &hash, hash_prefix](const ZnsTraceEvent &ev) {
+                (*completions)++;
+                hash = hash_event(hash, d, ev);
+                if (hash_prefix)
+                    hash_prefix->push_back(hash);
+            });
+    }
+
+    Driver drv;
+    drv.wl = &wl_;
+    drv.vol = arr.vol.get();
+    drv.loop = arr.loop.get();
+    drv.shadow = &shadow;
+    drv.issue();
+    arr.loop->run_until_pred(
+        [&] { return *completions >= crash_at || drv.done; });
+    if (!drv.op_error && *completions < crash_at) {
+        // Workload acked; drain straggler completions (metadata
+        // appends issued without waiting) up to the crash point.
+        arr.loop->run_until_pred(
+            [&] { return *completions >= crash_at; });
+    }
+    *final_hash = hash;
+    for (uint32_t d = 0; d < cfg_.num_devices; ++d)
+        arr.devs[d]->set_trace(nullptr);
+    if (drv.op_error) {
+        rep->failures.push_back({crash_at, "workload", drv.detail});
+        return false;
+    }
+    return true;
+}
+
+uint64_t
+CrashPointExplorer::count_boundaries()
+{
+    if (counted_)
+        return boundaries_;
+    ChkGeom g = cfg_.geom();
+    ShadowVolume shadow(g.num_zones, g.zone_cap, true);
+    Array arr;
+    uint64_t completions = 0, hash = 0;
+    ChkReport scratch;
+    if (!drive(arr, shadow, UINT64_MAX, &completions, &hash, &ref_hash_,
+               &scratch)) {
+        LOG_ERROR("chk reference run failed: %s",
+                  scratch.failures.back().detail.c_str());
+        return 0;
+    }
+    boundaries_ = completions;
+    counted_ = true;
+    return boundaries_;
+}
+
+void
+CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
+{
+    ChkGeom g = cfg_.geom();
+    ShadowVolume shadow(g.num_zones, g.zone_cap, true);
+    Array arr;
+    uint64_t completions = 0, hash = 0;
+    rep->runs++;
+    if (!drive(arr, shadow, crash_at, &completions, &hash, nullptr, rep))
+        return;
+
+    if (opts_.verify_replay && counted_ &&
+        completions < ref_hash_.size() &&
+        hash != ref_hash_[completions]) {
+        rep->failures.push_back(
+            {crash_at, "replay-hash",
+             strprintf("schedule diverged from reference after %llu "
+                       "completions",
+                       (unsigned long long)completions)});
+        return;
+    }
+
+    // Snapshot acknowledged generations, then cut power everywhere.
+    std::vector<uint64_t> pre_gens;
+    for (uint32_t z = 0; z < g.num_zones; ++z)
+        pre_gens.push_back(arr.vol->gen_counters().get(z));
+    arr.vol.reset();
+    for (uint32_t d = 0; d < cfg_.num_devices; ++d) {
+        PowerLossSpec spec;
+        if (opts_.divergent_loss) {
+            spec.policy = d == 0 ? PowerLossSpec::Policy::kDropCache
+                                 : PowerLossSpec::Policy::kKeepAll;
+        } else {
+            spec.policy = opts_.policy;
+        }
+        spec.seed = opts_.loss_seed ^ (crash_at * 0x9e3779b9u + d);
+        arr.devs[d]->power_cut(spec);
+    }
+    arr.loop = std::make_unique<EventLoop>();
+    for (auto &dev : arr.devs)
+        dev->reattach(arr.loop.get());
+
+    auto mounted = RaiznVolume::mount(arr.loop.get(), arr.blk_ptrs());
+    if (!mounted.is_ok()) {
+        rep->failures.push_back(
+            {crash_at, "mount", mounted.status().to_string()});
+        return;
+    }
+    arr.vol = std::move(mounted).value();
+
+    OracleOptions oo;
+    oo.check_parity = opts_.check_parity;
+    oo.degrade_dev = opts_.check_degraded
+        ? static_cast<int>(crash_at % cfg_.num_devices)
+        : -1;
+    check_invariants(*arr.loop, *arr.vol, arr.zns_ptrs(), shadow,
+                     pre_gens, oo, crash_at, &rep->failures);
+}
+
+ChkReport
+CrashPointExplorer::explore_all()
+{
+    ChkReport rep;
+    rep.boundaries = count_boundaries();
+    for (uint64_t n = 0; n <= rep.boundaries; ++n)
+        run_one(n, &rep);
+    return rep;
+}
+
+ChkReport
+CrashPointExplorer::explore_points(const std::vector<uint64_t> &points)
+{
+    ChkReport rep;
+    rep.boundaries = count_boundaries();
+    for (uint64_t n : points)
+        run_one(std::min(n, rep.boundaries), &rep);
+    return rep;
+}
+
+ChkReport
+CrashPointExplorer::sweep_random(uint64_t nsamples, uint64_t seed)
+{
+    ChkReport rep;
+    rep.boundaries = count_boundaries();
+    Rng rng(seed ^ 0xc4a5c85d68d3afe5ull);
+    for (uint64_t i = 0; i < nsamples; ++i)
+        run_one(rng.next_below(rep.boundaries + 1), &rep);
+    return rep;
+}
+
+} // namespace raizn::chk

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Crash-point explorer. A run is: mkfs a fresh array, replay a
+ * workload while tracing every device command completion, and inject a
+ * power cut after the N-th completion; then remount and run the oracle.
+ *
+ * The simulation is deterministic (seeded RNG, sequence-tiebroken
+ * event loop), so the N-th completion of a replay is the same physical
+ * moment every time — verified by hashing the completion trace and
+ * comparing each replay's prefix hash against the reference run.
+ * Exhaustive mode enumerates every N in [0, boundaries]; sweep mode
+ * samples N from a seeded RNG for larger workloads. A failing point is
+ * reported with everything needed to replay it: (workload, options,
+ * crash point N).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chk/oracle.h"
+#include "chk/workload.h"
+#include "raizn/volume.h"
+#include "zns/zns_device.h"
+
+namespace raizn::chk {
+
+/// Array shape for exploration runs (small: runs are O(boundaries^2)).
+struct ChkConfig {
+    uint32_t num_devices = 5;
+    uint32_t su_sectors = 16;
+    uint32_t nzones = 8; ///< physical zones per device (3 are metadata)
+    uint64_t zone_cap = 128; ///< physical sectors per zone
+    uint32_t atomic_write_sectors = 4;
+
+    ChkGeom geom() const;
+};
+
+struct ChkOptions {
+    PowerLossSpec::Policy policy = PowerLossSpec::Policy::kDropCache;
+    uint64_t loss_seed = 1;
+    /// Device 0 drops its volatile cache while the rest keep theirs —
+    /// the divergent-survival case of §5.1.
+    bool divergent_loss = false;
+    bool check_parity = true;
+    /// Also re-read all contents with device (N mod num_devices)
+    /// marked failed after each healthy mount.
+    bool check_degraded = false;
+    /// Verify each replay followed the reference schedule exactly.
+    bool verify_replay = true;
+    RaiznVolume::DebugFault fault = RaiznVolume::DebugFault::kNone;
+};
+
+struct ChkReport {
+    uint64_t boundaries = 0; ///< completion boundaries in the full run
+    uint64_t runs = 0; ///< crash-injected runs performed
+    std::vector<ChkFailure> failures;
+
+    bool ok() const { return failures.empty(); }
+    std::string summary() const;
+};
+
+class CrashPointExplorer
+{
+  public:
+    CrashPointExplorer(ChkConfig cfg, ChkWorkload wl, ChkOptions opts);
+
+    /// Crash-free reference run: counts boundaries, records the trace
+    /// hash prefix for replay verification. Idempotent.
+    uint64_t count_boundaries();
+
+    /// Exhaustive: every crash point in [0, boundaries].
+    ChkReport explore_all();
+
+    /// Specific crash points (CLI replay of a failing point).
+    ChkReport explore_points(const std::vector<uint64_t> &points);
+
+    /// `nsamples` crash points drawn from a seeded RNG.
+    ChkReport sweep_random(uint64_t nsamples, uint64_t seed);
+
+  private:
+    struct Array; ///< devices + loop + volume for one run
+
+    void run_one(uint64_t crash_at, ChkReport *rep);
+    /// Replays the workload until `crash_at` completions; fills in the
+    /// array, shadow, and completion count. Returns false on a
+    /// workload-level error (recorded in `rep`).
+    bool drive(Array &arr, ShadowVolume &shadow, uint64_t crash_at,
+               uint64_t *completions, uint64_t *final_hash,
+               std::vector<uint64_t> *hash_prefix, ChkReport *rep);
+
+    ChkConfig cfg_;
+    ChkWorkload wl_;
+    ChkOptions opts_;
+    bool counted_ = false;
+    uint64_t boundaries_ = 0;
+    std::vector<uint64_t> ref_hash_; ///< cumulative hash after n events
+};
+
+} // namespace raizn::chk

@@ -1,0 +1,222 @@
+#include "chk/oracle.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "raizn/stripe_buffer.h"
+#include "raizn/volume.h"
+#include "sim/event_loop.h"
+#include "zns/zns_device.h"
+
+namespace raizn::chk {
+
+namespace {
+
+void
+add(std::vector<ChkFailure> *out, uint64_t point, const char *invariant,
+    std::string detail)
+{
+    out->push_back({point, invariant, std::move(detail)});
+}
+
+/// Synchronous logical read through the volume.
+IoResult
+vol_read(EventLoop &loop, RaiznVolume &vol, uint64_t lba, uint32_t n)
+{
+    IoResult res;
+    bool done = false;
+    vol.read(lba, n, [&](IoResult r) {
+        res = std::move(r);
+        done = true;
+    });
+    loop.run_until_pred([&] { return done; });
+    return res;
+}
+
+/// First differing sector between `got` and the image prefix, or -1.
+int64_t
+first_mismatch(const std::vector<uint8_t> &got,
+               const std::vector<uint8_t> &image, uint64_t nsectors)
+{
+    for (uint64_t s = 0; s < nsectors; ++s) {
+        if (std::memcmp(got.data() + s * kSectorSize,
+                        image.data() + s * kSectorSize, kSectorSize) != 0)
+            return static_cast<int64_t>(s);
+    }
+    return -1;
+}
+
+/// Reads [start, start+fill) through the volume and compares against
+/// the shadow image. Returns true when everything matched.
+bool
+check_zone_content(EventLoop &loop, RaiznVolume &vol, uint32_t z,
+                   uint64_t start, uint64_t fill,
+                   const std::vector<uint8_t> &image, const char *tag,
+                   uint64_t point, std::vector<ChkFailure> *out)
+{
+    constexpr uint32_t kChunk = 128; // sectors per read
+    for (uint64_t off = 0; off < fill; off += kChunk) {
+        uint32_t n =
+            static_cast<uint32_t>(std::min<uint64_t>(kChunk, fill - off));
+        IoResult r = vol_read(loop, vol, start + off, n);
+        if (!r.status.is_ok()) {
+            add(out, point, tag,
+                strprintf("zone %u read at off %llu failed: %s", z,
+                          (unsigned long long)off,
+                          r.status.to_string().c_str()));
+            return false;
+        }
+        std::vector<uint8_t> want(
+            image.begin() +
+                static_cast<ptrdiff_t>(off * kSectorSize),
+            image.begin() +
+                static_cast<ptrdiff_t>((off + n) * kSectorSize));
+        int64_t bad = first_mismatch(r.data, want, n);
+        if (bad >= 0) {
+            add(out, point, tag,
+                strprintf("zone %u data mismatch at zone offset %llu", z,
+                          (unsigned long long)(off + bad)));
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+void
+check_invariants(EventLoop &loop, RaiznVolume &vol,
+                 const std::vector<ZnsDevice *> &devs,
+                 const ShadowVolume &shadow,
+                 const std::vector<uint64_t> &pre_crash_gens,
+                 const OracleOptions &opts, uint64_t crash_point,
+                 std::vector<ChkFailure> *out)
+{
+    const uint64_t cap = shadow.zone_cap();
+    std::vector<uint64_t> fills(shadow.num_zones(), 0);
+
+    for (uint32_t z = 0; z < shadow.num_zones(); ++z) {
+        auto zi = vol.zone_info(z);
+        if (!zi.is_ok()) {
+            add(out, crash_point, "wp-bounds",
+                strprintf("zone_info(%u) failed: %s", z,
+                          zi.status().to_string().c_str()));
+            continue;
+        }
+        uint64_t off = zi.value().wp - zi.value().start;
+        fills[z] = off;
+        const ShadowVolume::ZoneShadow &zs = shadow.zone(z);
+
+        // Generation counters never move backwards.
+        if (vol.gen_counters().get(z) < pre_crash_gens[z]) {
+            add(out, crash_point, "gen-monotonic",
+                strprintf("zone %u generation %llu < pre-crash %llu", z,
+                          (unsigned long long)vol.gen_counters().get(z),
+                          (unsigned long long)pre_crash_gens[z]));
+        }
+
+        if (zs.reset_pending) {
+            // Two allowed worlds: the reset won (empty zone) or the
+            // reset WAL never became durable (old contents intact).
+            uint64_t old_hi = zs.old_finish_pending ? cap : zs.old_wp;
+            if (off == 0)
+                continue;
+            if (off < zs.old_floor || off > old_hi) {
+                add(out, crash_point, "wp-bounds",
+                    strprintf("zone %u recovered fill %llu outside "
+                              "[%llu, %llu] (reset in flight)",
+                              z, (unsigned long long)off,
+                              (unsigned long long)zs.old_floor,
+                              (unsigned long long)old_hi));
+                continue;
+            }
+            check_zone_content(loop, vol, z, zi.value().start, off,
+                               zs.old_image, "readability", crash_point,
+                               out);
+            continue;
+        }
+
+        uint64_t hi = zs.finish_pending ? cap : zs.wp;
+        if (off < zs.floor) {
+            add(out, crash_point, "durability",
+                strprintf("zone %u recovered fill %llu below durable "
+                          "floor %llu",
+                          z, (unsigned long long)off,
+                          (unsigned long long)zs.floor));
+            continue;
+        }
+        if (off > hi) {
+            add(out, crash_point, "wp-bounds",
+                strprintf("zone %u recovered fill %llu above submitted "
+                          "%llu",
+                          z, (unsigned long long)off,
+                          (unsigned long long)hi));
+            continue;
+        }
+        check_zone_content(loop, vol, z, zi.value().start, off, zs.image,
+                           "readability", crash_point, out);
+    }
+
+    // Parity of settled full stripes, checked raw against the devices.
+    // Skipped when degraded (the failed device's units are unreadable)
+    // and for stripes with relocated or burned units, whose semantic
+    // correctness the degraded re-read covers instead.
+    if (opts.check_parity && !vol.degraded()) {
+        const Layout &lay = vol.layout();
+        const uint32_t D = lay.data_units();
+        const uint32_t su = lay.su();
+        for (uint32_t z = 0; z < shadow.num_zones(); ++z) {
+            uint64_t full_stripes = fills[z] / lay.stripe_sectors();
+            for (uint64_t s = 0; s < full_stripes; ++s) {
+                if (vol.stripe_displaced(z, s))
+                    continue;
+                uint64_t pba = lay.slot_pba(z, s);
+                std::vector<uint8_t> acc(
+                    static_cast<size_t>(su) * kSectorSize, 0);
+                bool read_ok = true;
+                for (uint32_t k = 0; k < D && read_ok; ++k) {
+                    uint32_t d = lay.data_dev(z, s, k);
+                    IoResult r = submit_sync(loop, *devs[d],
+                                             IoRequest::read(pba, su));
+                    read_ok = r.status.is_ok();
+                    if (read_ok)
+                        xor_bytes(acc.data(), r.data.data(), acc.size());
+                }
+                if (!read_ok)
+                    continue;
+                uint32_t pdev = lay.parity_dev(z, s);
+                IoResult pr = submit_sync(loop, *devs[pdev],
+                                          IoRequest::read(pba, su));
+                if (!pr.status.is_ok())
+                    continue;
+                if (std::memcmp(acc.data(), pr.data.data(), acc.size()) !=
+                    0) {
+                    add(out, crash_point, "parity",
+                        strprintf("zone %u stripe %llu parity mismatch",
+                                  z, (unsigned long long)s));
+                }
+            }
+        }
+    }
+
+    // Degraded re-read: mark one device failed and require every
+    // readable sector to reconstruct to the same shadow value.
+    if (opts.degrade_dev >= 0 && !vol.degraded() && !vol.read_only() &&
+        !devs[static_cast<uint32_t>(opts.degrade_dev)]->failed()) {
+        vol.mark_device_failed(static_cast<uint32_t>(opts.degrade_dev));
+        for (uint32_t z = 0; z < shadow.num_zones(); ++z) {
+            const ShadowVolume::ZoneShadow &zs = shadow.zone(z);
+            const std::vector<uint8_t> &image =
+                zs.reset_pending && fills[z] > 0 ? zs.old_image
+                                                 : zs.image;
+            if (image.empty())
+                continue;
+            check_zone_content(loop, vol, z, vol.zone_info(z).value().start,
+                               fills[z], image, "degraded-read",
+                               crash_point, out);
+        }
+    }
+}
+
+} // namespace raizn::chk

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Post-crash invariant oracle. After the explorer injects a power cut
+ * and remounts the array, the oracle compares the recovered volume
+ * against the shadow model:
+ *
+ *  1. readability — every sector below the recovered write pointer
+ *     reads back exactly the value the host submitted there;
+ *  2. durability — the recovered write pointer is at or above the
+ *     durable floor (flush / FUA / PREFLUSH acknowledgements);
+ *  3. wp bounds — the recovered write pointer never exceeds what the
+ *     host submitted (no invented data), with the documented two-world
+ *     ambiguity while a zone reset is in flight;
+ *  4. generation monotonicity — per-zone generation counters never go
+ *     backwards across a crash;
+ *  5. parity consistency — every full stripe below the write pointer
+ *     whose units sit at their home placement XORs to its parity;
+ *  6. degraded-read correctness — contents re-read with a device
+ *     marked failed still match the shadow (reconstruction works).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chk/shadow.h"
+
+namespace raizn {
+class EventLoop;
+class RaiznVolume;
+class ZnsDevice;
+} // namespace raizn
+
+namespace raizn::chk {
+
+/// One invariant violation at one crash point.
+struct ChkFailure {
+    uint64_t crash_point = 0;
+    std::string invariant;
+    std::string detail;
+};
+
+struct OracleOptions {
+    bool check_parity = true;
+    /// Device to mark failed for the post-mount degraded re-read, or
+    /// -1 to skip. Ignored when the array mounted degraded already
+    /// (those reads reconstruct anyway).
+    int degrade_dev = -1;
+};
+
+/**
+ * Runs every applicable invariant check on a freshly mounted volume.
+ * Appends one ChkFailure per violation. May mark a device failed
+ * (degraded re-read); callers must not reuse the volume afterwards.
+ */
+void check_invariants(EventLoop &loop, RaiznVolume &vol,
+                      const std::vector<ZnsDevice *> &devs,
+                      const ShadowVolume &shadow,
+                      const std::vector<uint64_t> &pre_crash_gens,
+                      const OracleOptions &opts, uint64_t crash_point,
+                      std::vector<ChkFailure> *out);
+
+} // namespace raizn::chk

@@ -1,0 +1,119 @@
+#include "chk/shadow.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+#include "common/units.h"
+
+namespace raizn::chk {
+
+ShadowVolume::ShadowVolume(uint32_t num_zones, uint64_t zone_cap,
+                           bool store_data)
+    : zone_cap_(zone_cap), store_data_(store_data)
+{
+    zones_.resize(num_zones);
+    if (store_data_) {
+        for (ZoneShadow &zs : zones_)
+            zs.image.assign(zone_cap_ * kSectorSize, 0);
+    }
+}
+
+std::vector<uint64_t>
+ShadowVolume::wps() const
+{
+    std::vector<uint64_t> out;
+    out.reserve(zones_.size());
+    for (const ZoneShadow &zs : zones_)
+        out.push_back(zs.wp);
+    return out;
+}
+
+void
+ShadowVolume::on_write_submitted(uint32_t zone, uint64_t off,
+                                 const std::vector<uint8_t> &data,
+                                 uint32_t nsectors)
+{
+    ZoneShadow &zs = zones_[zone];
+    assert(off == zs.wp && "driver must write sequentially");
+    assert(off + nsectors <= zone_cap_);
+    if (store_data_ && !data.empty()) {
+        assert(data.size() ==
+               static_cast<size_t>(nsectors) * kSectorSize);
+        std::memcpy(zs.image.data() + off * kSectorSize, data.data(),
+                    data.size());
+    }
+    zs.wp = off + nsectors;
+}
+
+void
+ShadowVolume::on_reset_submitted(uint32_t zone)
+{
+    ZoneShadow &zs = zones_[zone];
+    if (zs.wp == 0 && !zs.finish_pending) {
+        // The volume short-circuits resets of empty zones: no WAL, no
+        // device IO, nothing for a crash to interleave with.
+        return;
+    }
+    assert(!zs.reset_pending);
+    zs.reset_pending = true;
+    zs.old_wp = zs.wp;
+    zs.old_floor = zs.floor;
+    zs.old_finish_pending = zs.finish_pending;
+    zs.old_image = std::move(zs.image);
+    zs.wp = 0;
+    zs.floor = 0;
+    zs.finish_pending = false;
+    if (store_data_)
+        zs.image.assign(zone_cap_ * kSectorSize, 0);
+}
+
+void
+ShadowVolume::on_finish_submitted(uint32_t zone)
+{
+    zones_[zone].finish_pending = true;
+}
+
+void
+ShadowVolume::on_write_acked(uint32_t zone, uint64_t end_off, bool fua)
+{
+    if (fua) {
+        ZoneShadow &zs = zones_[zone];
+        zs.floor = std::max(zs.floor, std::min(end_off, zs.wp));
+    }
+}
+
+void
+ShadowVolume::on_flush_acked(const std::vector<uint64_t> &wps_at_submit)
+{
+    for (size_t z = 0; z < zones_.size(); ++z) {
+        ZoneShadow &zs = zones_[z];
+        if (zs.reset_pending || wps_at_submit[z] > zs.wp) {
+            // The zone was reset after the flush was submitted; the
+            // snapshot refers to contents the reset discarded.
+            continue;
+        }
+        zs.floor = std::max(zs.floor, wps_at_submit[z]);
+    }
+}
+
+void
+ShadowVolume::on_reset_acked(uint32_t zone)
+{
+    ZoneShadow &zs = zones_[zone];
+    if (!zs.reset_pending)
+        return; // empty-zone no-op reset
+    zs.reset_pending = false;
+    zs.old_image.clear();
+}
+
+void
+ShadowVolume::on_finish_acked(uint32_t zone)
+{
+    ZoneShadow &zs = zones_[zone];
+    zs.finish_pending = false;
+    zs.wp = zone_cap_;
+    zs.floor = zone_cap_;
+}
+
+} // namespace raizn::chk

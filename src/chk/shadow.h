@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Shadow model of the logical volume for crash-consistency checking.
+ *
+ * The driver mirrors every volume op into the shadow at two points:
+ * submit (raising the upper bound on what a recovered write pointer may
+ * show, and recording the payload image) and ack (raising the durable
+ * floor the recovered write pointer must reach). After a crash and
+ * remount, the oracle requires each zone's recovered fill to land in
+ * [floor, wp] — with a second allowed world while a zone reset is in
+ * flight — and its readable prefix to match the recorded image.
+ *
+ * Floor rules, derived from the volume's §5.3 semantics:
+ *  - FUA write ack: the zone prefix up to the write's end is durable
+ *    (device FUA plus dependency flushes of earlier stripe units).
+ *  - flush ack: every zone's fill at flush submit is durable.
+ *  - PREFLUSH write ack: every zone's fill at the write's submit is
+ *    durable (the volume flushes all devices before the write).
+ *  - zone finish ack: the whole zone is durable at capacity.
+ *  - zone reset ack: the reset WAL was durable before any physical
+ *    reset, so the pre-reset contents can never resurrect.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace raizn::chk {
+
+class ShadowVolume
+{
+  public:
+    struct ZoneShadow {
+        uint64_t wp = 0; ///< submitted fill (zone-relative sectors)
+        uint64_t floor = 0; ///< durable lower bound on recovered fill
+        bool finish_pending = false; ///< finish submitted, not acked
+        std::vector<uint8_t> image; ///< submitted payload bytes
+
+        // Pre-reset world, allowed until the reset acks: a crash while
+        // the reset is in flight may recover either the old contents
+        // (WAL not yet durable) or an empty zone.
+        bool reset_pending = false;
+        uint64_t old_wp = 0;
+        uint64_t old_floor = 0;
+        bool old_finish_pending = false;
+        std::vector<uint8_t> old_image;
+    };
+
+    ShadowVolume(uint32_t num_zones, uint64_t zone_cap, bool store_data);
+
+    uint32_t num_zones() const
+    {
+        return static_cast<uint32_t>(zones_.size());
+    }
+    uint64_t zone_cap() const { return zone_cap_; }
+    const ZoneShadow &zone(uint32_t z) const { return zones_[z]; }
+
+    /// Current submitted fills, for flush/preflush snapshots.
+    std::vector<uint64_t> wps() const;
+
+    // ---- submit-time hooks ----
+    void on_write_submitted(uint32_t zone, uint64_t off,
+                            const std::vector<uint8_t> &data,
+                            uint32_t nsectors);
+    void on_reset_submitted(uint32_t zone);
+    void on_finish_submitted(uint32_t zone);
+
+    // ---- ack-time hooks ----
+    void on_write_acked(uint32_t zone, uint64_t end_off, bool fua);
+    /// flush ack, or the implicit flush of a PREFLUSH write ack:
+    /// `wps_at_submit` is the wps() snapshot taken at submit time.
+    void on_flush_acked(const std::vector<uint64_t> &wps_at_submit);
+    void on_reset_acked(uint32_t zone);
+    void on_finish_acked(uint32_t zone);
+
+  private:
+    uint64_t zone_cap_;
+    bool store_data_;
+    std::vector<ZoneShadow> zones_;
+};
+
+} // namespace raizn::chk

@@ -1,0 +1,261 @@
+#include "chk/workload.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace raizn::chk {
+
+std::string
+to_string(const ChkOp &op)
+{
+    switch (op.kind) {
+      case OpKind::kWrite:
+        return strprintf("write z%u off=%llu n=%u%s%s", op.zone,
+                         (unsigned long long)op.off, op.nsectors,
+                         op.fua ? " fua" : "",
+                         op.preflush ? " preflush" : "");
+      case OpKind::kFlush:
+        return "flush";
+      case OpKind::kResetZone:
+        return strprintf("reset z%u", op.zone);
+      case OpKind::kFinishZone:
+        return strprintf("finish z%u", op.zone);
+      case OpKind::kFailDevice:
+        return strprintf("fail dev%u", op.dev);
+    }
+    return "?";
+}
+
+namespace {
+
+ChkOp
+write_op(uint32_t zone, uint64_t off, uint32_t n, bool fua = false,
+         bool preflush = false)
+{
+    ChkOp op;
+    op.kind = OpKind::kWrite;
+    op.zone = zone;
+    op.off = off;
+    op.nsectors = n;
+    op.fua = fua;
+    op.preflush = preflush;
+    // Seed derived from placement so every write's payload is unique
+    // and reproducible without workload-global state.
+    op.seed = (static_cast<uint64_t>(zone) << 40) ^ (off << 8) ^ n;
+    return op;
+}
+
+} // namespace
+
+ChkWorkload
+canonical_workload(const ChkGeom &g)
+{
+    const uint64_t ss = g.stripe_sectors;
+    const uint32_t su = g.su_sectors;
+    ChkWorkload wl;
+
+    // Zone 0: three-plus stripes of mixed-size writes crossing every
+    // stripe-unit and stripe boundary shape: sub-unit, unit-aligned,
+    // unit-straddling, stripe-completing, and stripe-straddling.
+    uint64_t off = 0;
+    auto w0 = [&](uint32_t n, bool fua = false, bool preflush = false) {
+        wl.push_back(write_op(0, off, n, fua, preflush));
+        off += n;
+    };
+    w0(su);            // first unit
+    w0(su / 2);        // half unit (partial parity path)
+    w0(su / 2 + su);   // completes unit 2, fills unit 3 -> stripe 0 full
+    wl.push_back({OpKind::kFlush});
+    w0(su, /*fua=*/true); // stripe 1 opens with a FUA unit
+    w0(2 * su);        // units straddle
+    w0(su - 1);        // odd length, leaves 1-sector hole in the unit
+    w0(1, /*fua=*/true); // completes stripe 1 with a durable point
+    w0(static_cast<uint32_t>(ss), false, /*preflush=*/true); // stripe 2
+    w0(su / 2);        // stripe 3 partially open at crash time
+
+    // Zone 1: open a second zone so recovery handles several zones and
+    // the flush snapshot spans zones.
+    wl.push_back(write_op(1, 0, su + su / 2));
+    wl.push_back({OpKind::kFlush});
+    wl.push_back(write_op(1, su + su / 2, su / 2, /*fua=*/true));
+
+    // Zone 1: reset (WAL + physical resets + gen bump) then rewrite,
+    // exercising stale-metadata invalidation by generation (§4.3).
+    {
+        ChkOp op;
+        op.kind = OpKind::kResetZone;
+        op.zone = 1;
+        wl.push_back(op);
+    }
+    wl.push_back(write_op(1, 0, su, /*fua=*/true));
+
+    // Zone 2: small write then finish (wp jumps to capacity); the
+    // finish must seal the open stripe's parity slot.
+    wl.push_back(write_op(2, 0, su / 2));
+    {
+        ChkOp op;
+        op.kind = OpKind::kFinishZone;
+        op.zone = 2;
+        wl.push_back(op);
+    }
+
+    // Zone 0 continued: push through stripes 3-5 with every boundary
+    // shape again, now with recovery state (pp logs, gen bumps) from
+    // the earlier ops in play.
+    w0(su / 2);          // completes the stripe left open above
+    w0(su, /*fua=*/true);
+    w0(su / 2 + 3);      // odd straddle
+    w0(su / 2 - 3);      // realigns to the unit boundary
+    w0(su);
+    wl.push_back({OpKind::kFlush});
+    w0(static_cast<uint32_t>(ss)); // a whole stripe in one request
+    w0(1);
+    w0(su - 1, /*fua=*/true);
+    wl.push_back({OpKind::kFlush});
+
+    // Zone 3: an independent zone mixing preflush and FUA so the flush
+    // snapshot spans three open zones.
+    uint64_t off3 = 0;
+    auto w3 = [&](uint32_t n, bool fua = false, bool preflush = false) {
+        wl.push_back(write_op(3, off3, n, fua, preflush));
+        off3 += n;
+    };
+    w3(su / 2);
+    w3(su / 2, /*fua=*/true);
+    wl.push_back({OpKind::kFlush});
+    w3(static_cast<uint32_t>(ss), false, /*preflush=*/true);
+    w3(2 * su + 3);
+    wl.push_back({OpKind::kFlush});
+    w3(su - 3);
+    w3(su, /*fua=*/true); // FUA behind an odd-length volatile tail
+    wl.push_back({OpKind::kFlush});
+    w3(su / 2 + 1); // leave zone 3 mid-unit at crash time
+
+    // Zone 1: a second reset cycle — reset of a short-lived rewrite —
+    // so WAL replay sees two generations of the same zone.
+    wl.push_back(write_op(1, su, su / 2));
+    {
+        ChkOp op;
+        op.kind = OpKind::kResetZone;
+        op.zone = 1;
+        wl.push_back(op);
+    }
+    wl.push_back(write_op(1, 0, su, /*fua=*/true));
+    wl.push_back({OpKind::kFlush});
+
+    // Zone 4: finish with the tail stripe mid-unit, then crash points
+    // fall inside the parity-seal + multi-device finish fan-out.
+    wl.push_back(write_op(4, 0, su + su / 2, /*fua=*/true));
+    {
+        ChkOp op;
+        op.kind = OpKind::kFinishZone;
+        op.zone = 4;
+        wl.push_back(op);
+    }
+    wl.push_back({OpKind::kFlush});
+    return wl;
+}
+
+ChkWorkload
+degraded_workload(const ChkGeom &g, uint32_t fail_dev)
+{
+    ChkWorkload wl;
+    ChkOp fail;
+    fail.kind = OpKind::kFailDevice;
+    fail.dev = fail_dev;
+    wl.push_back(fail);
+
+    // Degraded partial-stripe writes with FUA acks: their durability
+    // depends entirely on the partial-parity log when the failed
+    // device holds a data unit of the open stripe.
+    const uint32_t su = g.su_sectors;
+    uint64_t off = 0;
+    auto w0 = [&](uint32_t n, bool fua) {
+        wl.push_back(write_op(0, off, n, fua));
+        off += n;
+    };
+    w0(su, true);
+    w0(su / 2, true);
+    w0(su / 2 + su, false);
+    wl.push_back({OpKind::kFlush});
+    w0(su, true); // stripe 1 partially open, FUA-acked, degraded
+    return wl;
+}
+
+ChkWorkload
+random_workload(const ChkGeom &g, uint64_t seed, uint32_t nops)
+{
+    Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
+    ChkWorkload wl;
+    std::vector<uint64_t> wp(g.num_zones, 0);
+    std::vector<bool> full(g.num_zones, false);
+    bool failed_one = false;
+
+    while (wl.size() < nops) {
+        double p = rng.next_double();
+        if (p < 0.70) {
+            // Sequential write to a random non-full zone.
+            std::vector<uint32_t> cands;
+            for (uint32_t z = 0; z < g.num_zones; ++z)
+                if (!full[z] && wp[z] < g.zone_cap)
+                    cands.push_back(z);
+            if (cands.empty())
+                continue;
+            uint32_t z = cands[rng.next_below(cands.size())];
+            uint64_t room = g.zone_cap - wp[z];
+            uint32_t n = static_cast<uint32_t>(
+                std::min<uint64_t>(room, rng.next_range(1, 2 * g.su_sectors)));
+            ChkOp op = write_op(z, wp[z], n, rng.next_bool(0.25),
+                                rng.next_bool(0.05));
+            op.seed ^= seed;
+            wl.push_back(op);
+            wp[z] += n;
+            if (wp[z] == g.zone_cap)
+                full[z] = true;
+        } else if (p < 0.80) {
+            wl.push_back({OpKind::kFlush});
+        } else if (p < 0.90) {
+            // Reset a non-empty zone.
+            std::vector<uint32_t> cands;
+            for (uint32_t z = 0; z < g.num_zones; ++z)
+                if (wp[z] > 0 || full[z])
+                    cands.push_back(z);
+            if (cands.empty())
+                continue;
+            uint32_t z = cands[rng.next_below(cands.size())];
+            ChkOp op;
+            op.kind = OpKind::kResetZone;
+            op.zone = z;
+            wl.push_back(op);
+            wp[z] = 0;
+            full[z] = false;
+        } else if (p < 0.96) {
+            // Finish a non-full zone.
+            std::vector<uint32_t> cands;
+            for (uint32_t z = 0; z < g.num_zones; ++z)
+                if (!full[z])
+                    cands.push_back(z);
+            if (cands.empty())
+                continue;
+            uint32_t z = cands[rng.next_below(cands.size())];
+            ChkOp op;
+            op.kind = OpKind::kFinishZone;
+            op.zone = z;
+            wl.push_back(op);
+            full[z] = true;
+            wp[z] = g.zone_cap;
+        } else if (!failed_one) {
+            // At most one device failure per workload (single parity).
+            ChkOp op;
+            op.kind = OpKind::kFailDevice;
+            op.dev = static_cast<uint32_t>(rng.next_below(g.num_devices));
+            wl.push_back(op);
+            failed_one = true;
+        }
+    }
+    return wl;
+}
+
+} // namespace raizn::chk

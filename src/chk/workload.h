@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Workload descriptions for the crash-point explorer: a small
+ * imperative op list the driver replays sequentially against a
+ * RaiznVolume. Sequential issue (op N+1 starts at op N's ack) keeps the
+ * shadow model exact while the device sub-IOs of each op still fan out
+ * concurrently — every device completion boundary inside an op remains
+ * a distinct crash point.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace raizn::chk {
+
+enum class OpKind : uint8_t {
+    kWrite,
+    kFlush,
+    kResetZone,
+    kFinishZone,
+    kFailDevice, ///< hot-remove a device mid-workload (degraded paths)
+};
+
+struct ChkOp {
+    OpKind kind = OpKind::kWrite;
+    uint32_t zone = 0; ///< logical zone (write / reset / finish)
+    uint64_t off = 0; ///< zone-relative start sector (write)
+    uint32_t nsectors = 0; ///< write length
+    bool fua = false;
+    bool preflush = false;
+    uint32_t dev = 0; ///< kFailDevice target
+    uint64_t seed = 0; ///< payload pattern seed (write)
+};
+
+using ChkWorkload = std::vector<ChkOp>;
+
+std::string to_string(const ChkOp &op);
+
+/// Logical geometry the workload generators need.
+struct ChkGeom {
+    uint32_t num_zones = 0;
+    uint64_t zone_cap = 0; ///< logical sectors per zone
+    uint64_t stripe_sectors = 0; ///< data sectors per stripe
+    uint32_t su_sectors = 0;
+    uint32_t num_devices = 5;
+};
+
+/**
+ * Canonical exhaustive-mode workload: several stripes of mixed-size
+ * writes with FUA/PREFLUSH/flush boundaries, a second zone, a zone
+ * reset with rewrite, and a zone finish — every §5 crash-consistency
+ * mechanism is on some path.
+ */
+ChkWorkload canonical_workload(const ChkGeom &g);
+
+/// Canonical workload prefixed by a device failure, so every crash
+/// point is explored while the array runs degraded (§5.1 partial
+/// parity is then the only recovery source for open stripes).
+ChkWorkload degraded_workload(const ChkGeom &g, uint32_t fail_dev);
+
+/// Seeded random workload of roughly `nops` valid sequential ops.
+ChkWorkload random_workload(const ChkGeom &g, uint64_t seed,
+                            uint32_t nops);
+
+} // namespace raizn::chk

@@ -40,15 +40,17 @@ class PersistBitmap
     }
 
     /**
-     * Marks everything up to zone offset `upto_sectors` durable. A
-     * write persisted mid-stripe-unit implies the whole leading part of
-     * that unit is durable (all its sectors live on one device), so the
-     * bit for a partially covered trailing unit is also set (§5.3).
+     * Marks everything up to zone offset `upto_sectors` durable. Only
+     * fully covered stripe units are marked: a unit bit means "this
+     * unit's device holds no volatile data for it", which stops being
+     * true for a partially persisted unit the moment the zone is
+     * extended into its remainder — marking it would let a later FUA
+     * dependency flush (§5.3) skip a device still caching the tail.
      */
     void
     mark_persisted_upto(uint64_t upto_sectors)
     {
-        uint64_t units = (upto_sectors + su_sectors_ - 1) / su_sectors_;
+        uint64_t units = upto_sectors / su_sectors_;
         units = std::min<uint64_t>(units, bits_.size());
         bits_.set_range(0, units);
         advance_prefix();

@@ -130,10 +130,33 @@ RaiznVolume::run_recovery()
         }
     }
 
+    // Zones with current-generation partial-parity records: when the
+    // array is degraded, such a zone may hold FUA-acked content whose
+    // only durable trace is the pp log (its data unit lives on the
+    // failed device), so it is not actually empty.
+    std::set<uint32_t> pp_backed;
+    if (failed_dev_ >= 0) {
+        for (const auto &devlog : devlogs) {
+            for (const MdEntry &e : devlog.entries) {
+                if (e.header.type != MdType::kPartialParity)
+                    continue;
+                uint32_t z = layout_->zone_of(e.header.start_lba);
+                if (z < zones_.size() &&
+                    e.header.generation == gen_.get(z)) {
+                    pp_backed.insert(z);
+                }
+            }
+        }
+    }
+
     // Empty logical zones increment their generation on every mount,
-    // invalidating any stale metadata for them (§4.3).
+    // invalidating any stale metadata for them (§4.3). pp-backed
+    // degraded zones are exempt: the bump would invalidate the very
+    // records that prove their content.
     std::set<uint32_t> touched_blocks;
     for (uint32_t z = 0; z < zones_.size(); ++z) {
+        if (pp_backed.count(z))
+            continue;
         bool empty = true;
         for (uint32_t d = 0; d < devs_.size(); ++d) {
             if (devs_[d]->failed())
@@ -389,7 +412,17 @@ RaiznVolume::recover_logical_zone(uint32_t zone, RecoveryCtx &rc)
         return Status::ok();
     }
 
-    if (!any_written) {
+    // A degraded zone empty on every live device may still hold
+    // FUA-acked content reconstructable from the replayed pp log.
+    bool pp_backed = false;
+    if (failed_dev_ >= 0) {
+        for (const auto &[key, recs] : pp_index_) {
+            if (static_cast<uint32_t>(key >> 32) == zone && !recs.empty())
+                pp_backed = true;
+        }
+    }
+
+    if (!any_written && !pp_backed) {
         lz.cond = raizn::ZoneState::kEmpty;
         lz.wp = lz.start;
         return Status::ok();
@@ -439,6 +472,17 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
             continue;
         L = std::max(L,
                      layout_->progress_from_device(zone, d, written[d]));
+    }
+    // The replayed partial-parity log can prove more progress than any
+    // device write pointer: a FUA-acked degraded write whose data unit
+    // lives on the failed device is durable only as a pp record (§5.1).
+    // Claim that progress too; the stripe walk below rolls back any
+    // part of the claim that cannot actually be reconstructed.
+    for (const auto &[key, recs] : pp_index_) {
+        if (static_cast<uint32_t>(key >> 32) != zone)
+            continue;
+        for (const PpRecord &rec : recs)
+            L = std::max(L, rec.end_lba - lz.start);
     }
     L = std::min(L, layout_->logical_zone_cap());
 
@@ -490,6 +534,23 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
             last_stripe = std::max(last_stripe, (e - 1) / su);
         }
     }
+    if (failed_dev_ >= 0) {
+        // Every stripe holding failed-device data within L must prove
+        // that unit reconstructable (durable parity or durable pp),
+        // even when no live device has a hole — otherwise the fill is
+        // rolled back to the unit, not discovered lost at read time.
+        for (uint64_t s = 0; s * ss < L; ++s) {
+            if (layout_->data_pos_of_dev(
+                    zone, s, static_cast<uint32_t>(failed_dev_)) < 0) {
+                continue;
+            }
+            uint64_t e = expected(static_cast<uint32_t>(failed_dev_), L);
+            if (e <= s * su)
+                continue;
+            first_stripe = std::min(first_stripe, s);
+            last_stripe = std::max(last_stripe, s);
+        }
+    }
 
     if (first_stripe != UINT64_MAX) {
         for (uint64_t s = first_stripe; s <= last_stripe && F == L; ++s) {
@@ -514,21 +575,32 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                                        have - slot, e - slot});
                 }
             }
-            if (missing.empty())
+            // A failed device's data unit in this stripe is also
+            // unavailable — but only the part below L; an unwritten
+            // failed unit (tail stripe) holds nothing and must not
+            // count against the single-parity budget.
+            int failed_pos = failed_dev_ >= 0
+                ? layout_->data_pos_of_dev(
+                      zone, s, static_cast<uint32_t>(failed_dev_))
+                : -1;
+            uint64_t failed_hi = 0;
+            if (failed_pos >= 0) {
+                uint64_t e = std::min(
+                    expected(static_cast<uint32_t>(failed_dev_), L),
+                    slot + su);
+                if (e > slot)
+                    failed_hi = e - slot;
+            }
+            if (missing.empty() && failed_hi == 0)
                 continue;
 
             int missing_data = 0;
             for (const Piece &p : missing)
                 missing_data += (p.pos >= 0);
-            // A failed device's data unit in this stripe is also
-            // unavailable; more than one unavailable unit per stripe is
+            // More than one unavailable data unit per stripe is
             // unrecoverable (single parity).
-            int failed_pos = failed_dev_ >= 0
-                ? layout_->data_pos_of_dev(
-                      zone, s, static_cast<uint32_t>(failed_dev_))
-                : -1;
             uint32_t unavailable = static_cast<uint32_t>(missing_data) +
-                (failed_pos >= 0 ? 1 : 0);
+                (failed_hi > 0 ? 1 : 0);
 
             uint32_t pdev = layout_->parity_dev(zone, s);
             bool parity_present = !devs_[pdev]->failed() &&
@@ -558,6 +630,15 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                     if (cov_end < logical_need)
                         pp_usable = false;
                 }
+                if (failed_hi > 0) {
+                    // Reconstructing the failed unit needs pp coverage
+                    // through its written extent as well.
+                    uint64_t need = stripe_start_lba +
+                        static_cast<uint64_t>(failed_pos) * su +
+                        failed_hi;
+                    if (cov_end < std::min(need, stripe_start_lba + ss))
+                        pp_usable = false;
+                }
                 if (!store_data_)
                     pp_usable = pp_index_.count(zs_key(zone, s)) > 0;
                 if (devs_[pdev]->failed())
@@ -565,7 +646,7 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
             }
 
             bool recoverable;
-            if (missing_data == 0 && failed_pos < 0) {
+            if (missing_data == 0 && failed_hi == 0) {
                 // Only parity missing; rebuild it from the data units.
                 recoverable = true;
             } else if (unavailable <= 1) {
@@ -585,9 +666,29 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                                         static_cast<uint64_t>(p.pos) * su +
                                         p.lo);
                 }
-                if (failed_pos >= 0 && !parity_present && !pp_usable) {
-                    f = std::min(
-                        f, s * ss + static_cast<uint64_t>(failed_pos) * su);
+                if (failed_hi > 0 && !parity_present) {
+                    // The failed unit is extractable from the pp
+                    // accumulator only up to the log's coverage of it;
+                    // anything beyond is lost with the device. A fully
+                    // covered unit is not lost at all, even when the
+                    // stripe rolls back for other missing pieces.
+                    uint64_t ustart_lba = lz.start + s * ss +
+                        static_cast<uint64_t>(failed_pos) * su;
+                    uint64_t ppc = cov_end > ustart_lba
+                        ? std::min<uint64_t>(failed_hi,
+                                             cov_end - ustart_lba)
+                        : 0;
+                    if (devs_[pdev]->failed())
+                        ppc = 0; // pp lives on the parity device
+                    if (!store_data_ &&
+                        pp_index_.count(zs_key(zone, s)) > 0)
+                        ppc = failed_hi;
+                    if (ppc < failed_hi) {
+                        f = std::min(
+                            f, s * ss +
+                                static_cast<uint64_t>(failed_pos) * su +
+                                ppc);
+                    }
                 }
                 F = std::min(F, f);
                 break;
@@ -667,23 +768,52 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                         }
                         content = std::move(acc);
                     } else {
-                        // Missing parity: XOR of all data units.
+                        // Missing parity: XOR of all data units. When
+                        // the failed device holds a data unit of this
+                        // stripe, that unit's content exists only in
+                        // the pp accumulator — seed from it, and fold
+                        // live units in only over the lanes the log
+                        // does not already cover.
                         std::vector<uint8_t> acc(content.size(), 0);
+                        uint64_t stripe_lo_lba = lz.start + s * ss;
+                        bool use_pp = failed_pos >= 0;
+                        if (use_pp) {
+                            xor_bytes(acc.data(),
+                                      pparity.data() + p.lo * kSectorSize,
+                                      acc.size());
+                        }
                         for (uint32_t k = 0; k < D; ++k) {
                             uint32_t kd = layout_->data_dev(zone, s, k);
                             if (devs_[kd]->failed())
+                                continue;
+                            uint64_t k_lo = p.lo, k_hi = p.hi;
+                            if (use_pp) {
+                                uint64_t covered = cov_end >
+                                        stripe_lo_lba +
+                                            static_cast<uint64_t>(k) * su
+                                    ? std::min<uint64_t>(
+                                          su,
+                                          cov_end -
+                                              (stripe_lo_lba +
+                                               static_cast<uint64_t>(k) *
+                                                   su))
+                                    : 0;
+                                k_lo = std::max(k_lo, covered);
+                            }
+                            if (k_hi <= k_lo)
                                 continue;
                             auto r = dev_sync(
                                 kd, IoRequest::read(
                                         static_cast<uint64_t>(zone) *
                                                 layout_->phys_zone_size() +
-                                            slot + p.lo,
-                                        static_cast<uint32_t>(p.hi -
-                                                              p.lo)));
+                                            slot + k_lo,
+                                        static_cast<uint32_t>(k_hi -
+                                                              k_lo)));
                             if (!r.status.is_ok())
                                 return r.status;
-                            xor_bytes(acc.data(), r.data.data(),
-                                      acc.size());
+                            xor_bytes(acc.data() +
+                                          (k_lo - p.lo) * kSectorSize,
+                                      r.data.data(), r.data.size());
                         }
                         content = std::move(acc);
                     }
@@ -694,6 +824,37 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                     return w.status;
                 written[p.dev] = slot + p.hi;
                 stats_.holes_repaired_in_place++;
+            }
+        }
+    }
+
+    // A partial-parity record straddling the fill would poison
+    // degraded reconstruction: its delta folds in lanes from
+    // rolled-back sectors that no live device backs any more, and a
+    // folded delta cannot be split. Roll the fill back to the record's
+    // start (always a write boundary, so never below a durable ack)
+    // whenever the tail stripe needs the pp log for a failed data unit.
+    if (failed_dev_ >= 0) {
+        bool moved = true;
+        while (moved && F > 0) {
+            moved = false;
+            uint64_t s = (F - 1) / ss;
+            int pos = layout_->data_pos_of_dev(
+                zone, s, static_cast<uint32_t>(failed_dev_));
+            if (pos < 0 ||
+                s * ss + static_cast<uint64_t>(pos) * su >= F) {
+                continue; // no failed data unit inside the fill
+            }
+            auto it = pp_index_.find(zs_key(zone, s));
+            if (it == pp_index_.end())
+                continue;
+            for (const PpRecord &rec : it->second) {
+                uint64_t rs = rec.start_lba - lz.start;
+                uint64_t re = rec.end_lba - lz.start;
+                if (rs < F && re > F) {
+                    F = rs;
+                    moved = true;
+                }
             }
         }
     }
@@ -736,6 +897,22 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                 burned_.set(d, zone, e, padded);
             }
         }
+    }
+
+    // Drop pp records for writes entirely beyond the recovered fill:
+    // they describe rolled-back data and would otherwise poison any
+    // later degraded reconstruction of this zone's tail stripe. After
+    // the roll-back above, no surviving record straddles L.
+    for (auto it = pp_index_.lower_bound(zs_key(zone, 0));
+         it != pp_index_.end() &&
+         static_cast<uint32_t>(it->first >> 32) == zone;) {
+        std::erase_if(it->second, [&](const PpRecord &rec) {
+            return rec.start_lba - lz.start >= L;
+        });
+        if (it->second.empty())
+            it = pp_index_.erase(it);
+        else
+            ++it;
     }
 
     lz.wp = lz.start + L;

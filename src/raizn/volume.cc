@@ -495,6 +495,9 @@ RaiznVolume::log_partial_parity(uint32_t zone, uint64_t stripe,
         rec.delta = delta;
     pp_index_[zs_key(zone, stripe)].push_back(std::move(rec));
 
+    if (debug_fault_ == DebugFault::kSkipPartialParityLog)
+        return; // deliberate bug: in-memory index only, nothing durable
+
     uint32_t dev = layout_->parity_dev(zone, stripe);
     if (dev_unavailable(dev, zone))
         return; // degraded: partial parity is omitted with its device
@@ -838,6 +841,40 @@ RaiznVolume::finish_zone(uint32_t zone, IoCallback cb)
         out.status = *first;
         cb(std::move(out));
     };
+    uint64_t fill = lz.wp - lz.start;
+    uint64_t in_stripe = fill % layout_->stripe_sectors();
+    if (in_stripe > 0) {
+        // Seal the open stripe before finishing: its parity slot must
+        // hold the XOR of the written prefix (unwritten units read as
+        // zeros once the zone is Full) so the parity invariant spans
+        // the whole finished zone and a crash mid-finish reconstructs
+        // zeros — not garbage XOR'd from an unwritten parity slot.
+        uint64_t stripe = fill / layout_->stripe_sectors();
+        uint64_t slot = layout_->slot_pba(zone, stripe);
+        uint32_t pdev = layout_->parity_dev(zone, stripe);
+        bool slot_writable = !dev_unavailable(pdev, zone) &&
+            slot >= burned_.burned_end(pdev, zone);
+        if (slot_writable) {
+            // Relocations can leave the physical wp behind the slot;
+            // such stripes are served via the relocation map instead.
+            auto zi = devs_[pdev]->zone_info(zone);
+            slot_writable = zi.is_ok() && zi.value().wp == slot;
+        }
+        if (slot_writable) {
+            StripeBuffer *buf = get_buffer(zone, stripe);
+            std::vector<uint8_t> parity;
+            if (store_data_ && buf->stripe_no() == stripe)
+                parity = buf->prefix_parity();
+            stats_.full_parity_writes++;
+            (*pending)++;
+            IoRequest req;
+            req.op = IoOp::kWrite;
+            req.slba = slot;
+            req.nsectors = cfg_.su_sectors;
+            req.data = std::move(parity);
+            devs_[pdev]->submit(std::move(req), done);
+        }
+    }
     uint64_t phys_zone_start =
         static_cast<uint64_t>(zone) * layout_->phys_zone_size();
     for (uint32_t d = 0; d < devs_.size(); ++d) {
@@ -1169,18 +1206,33 @@ RaiznVolume::reconstruct_stripe_unit(
     // Surviving data units.
     uint64_t zs = layout_->zone_start_lba(zone);
     uint64_t stripe_base = stripe * layout_->stripe_sectors();
+    // When reconstructing a data unit of an incomplete stripe, only the
+    // prefix covered by the partial-parity records contributed to the
+    // accumulator: after a crash the durable pp log can trail the
+    // recovered zone fill, and XOR-ing a unit beyond that coverage
+    // would fold in data the parity never saw.
+    uint64_t pp_cov = 0;
+    if (!complete && pos >= 0) {
+        auto it = pp_index_.find(zs_key(zone, stripe));
+        if (it != pp_index_.end()) {
+            for (const PpRecord &rec : it->second)
+                pp_cov = std::max(pp_cov, rec.end_lba - zs);
+        }
+    }
     for (uint32_t k = 0; k < D; ++k) {
         if (static_cast<int>(k) == pos)
             continue;
         uint32_t dev = layout_->data_dev(zone, stripe, k);
         // How much of unit k exists (zero beyond the zone fill)?
         uint64_t unit_start = stripe_base + static_cast<uint64_t>(k) * su;
-        if (unit_start + lo >= zone_fill && !complete)
+        uint64_t fill_limit = pos >= 0 ? std::min(zone_fill, pp_cov)
+                                       : zone_fill;
+        if (unit_start + lo >= fill_limit && !complete)
             continue; // unit not written yet: contributes zeros
         uint64_t unit_hi = hi;
         if (!complete) {
-            uint64_t avail = zone_fill > unit_start
-                ? std::min<uint64_t>(su, zone_fill - unit_start)
+            uint64_t avail = fill_limit > unit_start
+                ? std::min<uint64_t>(su, fill_limit - unit_start)
                 : 0;
             unit_hi = std::min(hi, std::max(lo, avail));
             if (unit_hi <= lo)
@@ -1300,6 +1352,10 @@ RaiznVolume::reconstruct_stripe_unit(
 void
 RaiznVolume::mark_device_failed(uint32_t dev)
 {
+    if (dev >= devs_.size()) {
+        LOG_ERROR("mark_device_failed: no device %u", dev);
+        return;
+    }
     if (failed_dev_ == static_cast<int>(dev))
         return;
     if (failed_dev_ >= 0) {
@@ -1402,6 +1458,27 @@ RaiznVolume::snapshot_for_gc(uint32_t dev, MdZoneRole role)
         out.push_back(std::move(app));
     }
     return out;
+}
+
+bool
+RaiznVolume::stripe_displaced(uint32_t zone, uint64_t stripe) const
+{
+    if (parity_reloc_.count(zs_key(zone, stripe)))
+        return true;
+    // A burned physical range overlapping the stripe's slot means later
+    // rewrites of the slot were redirected into metadata zones.
+    uint64_t slot = layout_->slot_pba(zone, stripe);
+    for (uint32_t d = 0; d < layout_->num_devices(); ++d) {
+        if (slot < burned_.burned_end(d, zone))
+            return true;
+    }
+    uint64_t lo = layout_->zone_start_lba(zone) +
+        stripe * layout_->stripe_sectors();
+    for (uint64_t lba = lo; lba < lo + layout_->stripe_sectors(); ++lba) {
+        if (reloc_.find(lba))
+            return true;
+    }
+    return false;
 }
 
 RaiznVolume::MemoryFootprint

@@ -143,6 +143,29 @@ class RaiznVolume
     uint32_t num_devices() const { return layout_->num_devices(); }
     BlockDevice *device(uint32_t i) const { return devs_[i]; }
 
+    /**
+     * True when any sector of stripe `stripe` in logical zone `zone`
+     * lives away from its home physical location (relocated data or
+     * parity, or a burned range from hole rollback). Read-only; used by
+     * the crash-point oracle to scope raw parity-XOR checks to stripes
+     * stored at their home placement.
+     */
+    bool stripe_displaced(uint32_t zone, uint64_t stripe) const;
+
+    /**
+     * Deliberate bugs for oracle regression tests: each fault disables
+     * one crash-consistency mechanism so tests can prove the checker
+     * catches its absence. Never set outside tests.
+     */
+    enum class DebugFault {
+        kNone,
+        /// Skip the durable partial-parity log append (§5.1) while
+        /// keeping the in-memory index — crashes while degraded lose
+        /// the ability to reconstruct open stripes.
+        kSkipPartialParityLog,
+    };
+    void set_debug_fault(DebugFault f) { debug_fault_ = f; }
+
     /// Memory footprint per metadata type (Table 1 reproduction).
     struct MemoryFootprint {
         size_t gen_counters;
@@ -259,6 +282,7 @@ class RaiznVolume
     int failed_dev_ = -1;
     bool read_only_ = false;
     bool store_data_ = true;
+    DebugFault debug_fault_ = DebugFault::kNone;
     bool rebuilding_ = false;
     std::vector<bool> zone_rebuilt_; ///< during rebuild_device
 };

@@ -26,6 +26,8 @@ EventLoop::pop_and_run()
     assert(ev.when >= now_);
     now_ = ev.when;
     processed_++;
+    if (observer_)
+        observer_(ev.when, ev.seq);
     ev.fn();
     return true;
 }

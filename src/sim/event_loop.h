@@ -23,6 +23,8 @@ class EventLoop
 {
   public:
     using Callback = std::function<void()>;
+    /// Observes every dispatched event: (tick, schedule sequence number).
+    using Observer = std::function<void(Tick, uint64_t)>;
 
     EventLoop() = default;
     EventLoop(const EventLoop &) = delete;
@@ -59,6 +61,16 @@ class EventLoop
     size_t pending() const { return queue_.size(); }
     uint64_t events_processed() const { return processed_; }
 
+    /**
+     * Installs a per-event dispatch hook (pass nullptr to remove). The
+     * observer fires before each event's callback runs, receiving the
+     * event's tick and schedule sequence number. Because the loop is
+     * deterministic, the observed (tick, seq) stream identifies a
+     * schedule exactly: the crash-point explorer hashes it to prove a
+     * replay followed the recorded schedule.
+     */
+    void set_observer(Observer obs) { observer_ = std::move(obs); }
+
     /// Advances the clock with no event (e.g. idle gaps in workloads).
     void
     advance_to(Tick t)
@@ -89,6 +101,7 @@ class EventLoop
     Tick now_ = 0;
     uint64_t next_seq_ = 0;
     uint64_t processed_ = 0;
+    Observer observer_;
 };
 
 } // namespace raizn

@@ -70,20 +70,25 @@ ZnsDevice::zone_info(uint32_t zone_index) const
 
 void
 ZnsDevice::complete(Tick when, IoCallback cb, IoResult result,
-                    Apply apply)
+                    Apply apply, ZnsTraceEvent tev)
 {
     result.submit_tick = loop_->now();
     result.complete_tick = when;
     uint64_t epoch = epoch_;
     loop_->schedule_at(
         when, [this, epoch, cb = std::move(cb), apply = std::move(apply),
-               result = std::move(result)]() mutable {
+               result = std::move(result), tev]() mutable {
             // Completions from before a power cut never reach the host,
             // and their durability/state effects never land.
             if (epoch != epoch_)
                 return;
             if (apply)
                 apply();
+            if (trace_) {
+                tev.dev = this;
+                tev.tick = loop_->now();
+                trace_(tev);
+            }
             cb(std::move(result));
         });
 }
@@ -256,11 +261,19 @@ void
 ZnsDevice::submit(IoRequest req, IoCallback cb)
 {
     assert(cb);
+    ZnsTraceEvent tev;
+    tev.op = req.op;
+    tev.slba = req.slba;
+    tev.lba = req.slba;
+    tev.nsectors = req.nsectors;
+    tev.fua = req.fua;
+    tev.preflush = req.preflush;
     if (failed_) {
         stats_.errors++;
         IoResult r;
         r.status = Status(StatusCode::kOffline, "device failed");
-        complete(loop_->now() + kNsPerUs, std::move(cb), std::move(r));
+        complete(loop_->now() + kNsPerUs, std::move(cb), std::move(r),
+                 nullptr, tev);
         return;
     }
 
@@ -430,8 +443,10 @@ ZnsDevice::submit(IoRequest req, IoCallback cb)
         stats_.errors++;
     if (!result.status.is_ok())
         apply = nullptr; // failed commands have no effects
+    tev.lba = result.lba;
+    tev.ok = result.status.is_ok();
     complete(std::max(when, loop_->now() + 1), std::move(cb),
-             std::move(result), std::move(apply));
+             std::move(result), std::move(apply), tev);
 }
 
 void

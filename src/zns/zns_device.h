@@ -51,9 +51,30 @@ struct PowerLossSpec {
     uint64_t seed = 1;
 };
 
+class ZnsDevice;
+
+/**
+ * One device command completion as observed by a trace hook. The
+ * crash-point explorer counts these events to enumerate power-cut
+ * injection boundaries and hashes them to verify deterministic replay.
+ */
+struct ZnsTraceEvent {
+    const ZnsDevice *dev = nullptr;
+    IoOp op = IoOp::kRead;
+    uint64_t slba = 0;
+    uint64_t lba = 0; ///< placement LBA (differs from slba for appends)
+    uint32_t nsectors = 0;
+    bool fua = false;
+    bool preflush = false;
+    bool ok = false;
+    Tick tick = 0;
+};
+
 class ZnsDevice : public BlockDevice
 {
   public:
+    using TraceFn = std::function<void(const ZnsTraceEvent &)>;
+
     ZnsDevice(EventLoop *loop, ZnsDeviceConfig config);
 
     const DeviceGeometry &geometry() const override { return geom_; }
@@ -93,6 +114,16 @@ class ZnsDevice : public BlockDevice
     uint32_t open_zone_count() const { return open_count_; }
     uint32_t active_zone_count() const { return active_count_; }
 
+    /**
+     * Installs a completion trace hook (pass nullptr to remove). Fires
+     * as a command completes — after its durability/state effects have
+     * applied, immediately before the host callback — so a power cut
+     * injected at the hook's boundary sees exactly the device state the
+     * host was about to be told about. Completions invalidated by an
+     * earlier power cut never fire the hook.
+     */
+    void set_trace(TraceFn fn) { trace_ = std::move(fn); }
+
   private:
     /// State mutation applied at command completion (durability marks,
     /// resets, finishes). Runs only if no power cut intervened.
@@ -107,7 +138,7 @@ class ZnsDevice : public BlockDevice
     };
 
     void complete(Tick when, IoCallback cb, IoResult result,
-                  Apply apply = nullptr);
+                  Apply apply = nullptr, ZnsTraceEvent tev = {});
     Status validate_write(const Zone &z, uint64_t slba,
                           uint32_t nsectors) const;
     void transition_open(Zone &z, bool explicit_open);
@@ -135,6 +166,7 @@ class ZnsDevice : public BlockDevice
     uint64_t use_clock_ = 0;
     uint64_t epoch_ = 0; ///< bumped on power_cut; stale completions drop
     bool failed_ = false;
+    TraceFn trace_;
 };
 
 } // namespace raizn

@@ -201,6 +201,41 @@ TEST_F(CrashTest, UnrecoverableHoleRollsBackAndRemaps)
     arr_.expect_pattern(0, 64, 3);
 }
 
+TEST_F(CrashTest, DivergentDeviceCachesRecoverConsistently)
+{
+    // Each device survives power loss differently — some keep their
+    // volatile cache, some drop it, some keep a random prefix. The
+    // volume must still recover to a consistent state where the
+    // flushed prefix is intact and readable.
+    arr_.write_pattern(0, 64, 1); // stripe 0
+    ASSERT_TRUE(arr_.flush().status.is_ok());
+    arr_.write_pattern(64, 40, 2); // partial stripe 1, unflushed
+
+    std::vector<PowerLossSpec> specs = {
+        {PowerLossSpec::Policy::kDropCache, 1},
+        {PowerLossSpec::Policy::kKeepAll, 2},
+        {PowerLossSpec::Policy::kRandom, 3},
+        {PowerLossSpec::Policy::kKeepAll, 4},
+        {PowerLossSpec::Policy::kDropCache, 5},
+    };
+    ASSERT_TRUE(arr_.crash_and_remount(specs).is_ok());
+    auto zi = arr_.vol->zone_info(0).value();
+    uint64_t fill = zi.wp - zi.start;
+    EXPECT_GE(fill, 64u) << "flushed stripe must survive divergence";
+    arr_.expect_pattern(0, 64, 1);
+    // Whatever survived of the unflushed tail must read back exactly.
+    if (fill > 64) {
+        auto r = arr_.read(64, static_cast<uint32_t>(fill - 64));
+        ASSERT_TRUE(r.status.is_ok());
+        auto want = pattern_data(40, 2);
+        want.resize(r.data.size());
+        EXPECT_EQ(r.data, want);
+    }
+    // And the zone accepts new writes at the recovered wp.
+    arr_.write_pattern(zi.start + fill, 8, 7);
+    arr_.expect_pattern(zi.start + fill, 8, 7);
+}
+
 TEST_F(CrashTest, TornWriteLowerLbasReadable)
 {
     // A torn multi-sector write: lower-order LBAs remain readable

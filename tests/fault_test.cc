@@ -92,6 +92,36 @@ TEST_F(FaultTest, DegradedMountAfterCrash)
     arr_.expect_pattern(0, 128, 6);
 }
 
+TEST_F(FaultTest, CrashWhileDegradedKeepsFuaAckedWrites)
+{
+    // The array is already degraded when the power fails. FUA-acked
+    // partial-stripe writes whose data unit lives on the failed device
+    // exist durably only as partial-parity log records (§5.1); after
+    // the crash they must be reconstructed, while the unacked volatile
+    // tail may roll back.
+    uint32_t victim = arr_.vol->layout().data_dev(0, 0, 0);
+    arr_.devs[victim]->fail();
+    arr_.vol->mark_device_failed(victim);
+    WriteFlags fua;
+    fua.fua = true;
+    arr_.write_pattern(0, 16, 1, fua);  // unit 0: on the failed device
+    arr_.write_pattern(16, 8, 2, fua);  // half of unit 1
+    arr_.write_pattern(24, 24, 3);      // volatile tail, never acked
+                                        // durable
+    ASSERT_TRUE(
+        arr_.crash_and_remount({PowerLossSpec::Policy::kDropCache, 7})
+            .is_ok());
+    EXPECT_EQ(arr_.vol->failed_device(), static_cast<int>(victim));
+    auto zi = arr_.vol->zone_info(0).value();
+    ASSERT_GE(zi.wp - zi.start, 24u);
+    arr_.expect_pattern(0, 16, 1);
+    arr_.expect_pattern(16, 8, 2);
+    // The recovered zone stays usable degraded: appendable at its wp.
+    uint64_t fill = zi.wp - zi.start;
+    arr_.write_pattern(zi.start + fill, 8, 4, fua);
+    arr_.expect_pattern(zi.start + fill, 8, 4);
+}
+
 TEST_F(FaultTest, RebuildRestoresRedundancy)
 {
     arr_.write_pattern(0, 128, 7); // zone 0: two stripes

@@ -299,13 +299,18 @@ TEST(PersistBitmapTest, PrefixTracking)
 {
     PersistBitmap pbm(16, 4);
     EXPECT_EQ(pbm.persisted_prefix_units(), 0u);
-    pbm.mark_persisted_upto(6); // 1.5 units -> 2 units implied
-    EXPECT_EQ(pbm.persisted_prefix_units(), 2u);
-    EXPECT_TRUE(pbm.prefix_persisted(2));
-    EXPECT_FALSE(pbm.prefix_persisted(3));
+    // 1.5 units: only the fully covered unit counts — a half-persisted
+    // unit's device still caches the tail, so its bit must stay clear
+    // or a later FUA dependency flush would skip that device.
+    pbm.mark_persisted_upto(6);
+    EXPECT_EQ(pbm.persisted_prefix_units(), 1u);
+    EXPECT_TRUE(pbm.prefix_persisted(1));
+    EXPECT_FALSE(pbm.prefix_persisted(2));
     pbm.mark_unit(3); // out of order
-    EXPECT_EQ(pbm.persisted_prefix_units(), 2u);
+    EXPECT_EQ(pbm.persisted_prefix_units(), 1u);
     pbm.mark_unit(2);
+    EXPECT_EQ(pbm.persisted_prefix_units(), 1u);
+    pbm.mark_unit(1);
     EXPECT_EQ(pbm.persisted_prefix_units(), 4u);
     pbm.clear();
     EXPECT_EQ(pbm.persisted_prefix_units(), 0u);

@@ -88,6 +88,30 @@ struct TestArray {
         return Status::ok();
     }
 
+    /// Power loss with a distinct spec per device — volatile caches
+    /// survive or vanish independently, the divergence that makes
+    /// partial-parity logging necessary (§5.1). `specs` must have one
+    /// entry per device.
+    Status
+    crash_and_remount(const std::vector<PowerLossSpec> &specs)
+    {
+        EXPECT_EQ(specs.size(), devs.size());
+        for (size_t i = 0; i < devs.size(); ++i)
+            devs[i]->power_cut(specs[i]);
+        vol.reset();
+        loop = std::make_unique<EventLoop>();
+        std::vector<BlockDevice *> ptrs;
+        for (auto &dev : devs) {
+            dev->reattach(loop.get());
+            ptrs.push_back(dev.get());
+        }
+        auto res = RaiznVolume::mount(loop.get(), ptrs);
+        if (!res.is_ok())
+            return res.status();
+        vol = std::move(res).value();
+        return Status::ok();
+    }
+
     /// Clean remount (no power loss): flush, then remount.
     Status
     remount()

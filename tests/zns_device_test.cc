@@ -175,6 +175,56 @@ TEST_F(ZnsDeviceTest, ActiveLimitRejectsNewZone)
     EXPECT_TRUE(run(IoRequest::write_len(4 * 64, 4)).status.is_ok());
 }
 
+TEST_F(ZnsDeviceTest, OpenLimitAllExplicitRejectsWrite)
+{
+    // Explicitly opened zones cannot be auto-closed: once max_open
+    // slots are all explicit, admitting another zone must fail rather
+    // than evict one.
+    for (uint32_t z = 0; z < 3; ++z) {
+        IoRequest open{IoOp::kZoneOpen, z * 64, 0, false, false, {}};
+        ASSERT_TRUE(run(std::move(open)).status.is_ok());
+    }
+    EXPECT_EQ(dev_.open_zone_count(), 3u);
+    auto r = run(IoRequest::write_len(3 * 64, 4));
+    EXPECT_EQ(r.status.code(), StatusCode::kTooManyOpenZones);
+    // Closing one explicit zone frees a slot for the implicit open.
+    IoRequest close{IoOp::kZoneClose, 0, 0, false, false, {}};
+    ASSERT_TRUE(run(std::move(close)).status.is_ok());
+    EXPECT_TRUE(run(IoRequest::write_len(3 * 64, 4)).status.is_ok());
+}
+
+TEST_F(ZnsDeviceTest, WriteStraddlingCapacityGapRejected)
+{
+    // zone_capacity (48) < zone_size (64): a write that fits inside
+    // the zone's LBA span but crosses capacity must still be rejected,
+    // and the [capacity, zone_size) gap reads back as zeros.
+    ASSERT_TRUE(run(IoRequest::write_len(0, 44)).status.is_ok());
+    auto r = run(IoRequest::write_len(44, 8)); // 44+8 = 52 <= 64, > 48
+    EXPECT_EQ(r.status.code(), StatusCode::kZoneBoundary);
+    // The rejected write must not have advanced the wp.
+    EXPECT_EQ(dev_.zone_info(0).value().wp, 44u);
+    ASSERT_TRUE(run(IoRequest::write_len(44, 4)).status.is_ok());
+    EXPECT_EQ(dev_.zone_info(0).value().state, ZoneState::kFull);
+    auto rd = run(IoRequest::read(50, 4));
+    ASSERT_TRUE(rd.status.is_ok());
+    for (uint8_t b : rd.data)
+        EXPECT_EQ(b, 0);
+}
+
+TEST_F(ZnsDeviceTest, ResetOfEmptyZoneIsIdempotent)
+{
+    // Resetting a never-written zone succeeds without consuming an
+    // active slot or disturbing zone accounting.
+    auto r = run(IoRequest::zone_reset(2 * 64));
+    ASSERT_TRUE(r.status.is_ok());
+    auto zi = dev_.zone_info(2).value();
+    EXPECT_EQ(zi.state, ZoneState::kEmpty);
+    EXPECT_EQ(zi.wp, 2u * 64u);
+    EXPECT_EQ(dev_.open_zone_count(), 0u);
+    EXPECT_EQ(dev_.active_zone_count(), 0u);
+    EXPECT_TRUE(run(IoRequest::zone_reset(2 * 64)).status.is_ok());
+}
+
 TEST_F(ZnsDeviceTest, PowerCutDropsVolatileCache)
 {
     ASSERT_TRUE(run(IoRequest::write(0, pattern_data(8, 1))).status);
