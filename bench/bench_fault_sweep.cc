@@ -1,0 +1,181 @@
+/**
+ * @file
+ * Fault sweep: RAIZN throughput and tail latency vs injected transient
+ * error rate, from a healthy array through a fail-slow member to
+ * degraded mode. Every device sits behind a FaultInjectingDevice with
+ * a seeded schedule, so runs are reproducible. Emits
+ * BENCH_fault_sweep.json with one record per (point, workload) for
+ * plotting, and prints the volume's resilience counters per point.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/logging.h"
+#include "fault/fault_device.h"
+
+using namespace raizn;
+using namespace raizn::bench;
+
+namespace {
+
+/// make_raizn_array with a fault decorator in front of every device.
+struct FaultSweepArray {
+    std::unique_ptr<EventLoop> loop;
+    std::vector<std::unique_ptr<ZnsDevice>> devs;
+    std::vector<std::unique_ptr<FaultInjectingDevice>> fdevs;
+    std::unique_ptr<RaiznVolume> vol;
+};
+
+FaultSweepArray
+make_faulty_array(const BenchScale &scale, double err_rate, int slow_dev)
+{
+    FaultSweepArray arr;
+    arr.loop = std::make_unique<EventLoop>();
+    std::vector<BlockDevice *> ptrs;
+    for (uint32_t i = 0; i < scale.num_devices; ++i) {
+        ZnsDeviceConfig cfg;
+        cfg.nzones = scale.zones_per_device;
+        cfg.zone_size = scale.zone_cap_sectors;
+        cfg.zone_capacity = scale.zone_cap_sectors;
+        cfg.data_mode = scale.data_mode;
+        cfg.timing = TimingParams::zns();
+        cfg.name = "zns" + std::to_string(i);
+        arr.devs.push_back(
+            std::make_unique<ZnsDevice>(arr.loop.get(), cfg));
+        FaultConfig fc;
+        fc.seed = 0xbe9c4 + i;
+        fc.read_error_rate = err_rate;
+        fc.write_error_rate = err_rate;
+        if (static_cast<int>(i) == slow_dev)
+            fc.latency_multiplier = 8.0;
+        arr.fdevs.push_back(std::make_unique<FaultInjectingDevice>(
+            arr.loop.get(), arr.devs.back().get(), fc));
+        ptrs.push_back(arr.fdevs.back().get());
+    }
+    RaiznConfig rcfg;
+    rcfg.num_devices = scale.num_devices;
+    rcfg.su_sectors = scale.su_sectors;
+    auto res = RaiznVolume::create(arr.loop.get(), ptrs, rcfg);
+    if (!res.is_ok())
+        RAIZN_PANIC("RAIZN create failed: %s",
+                    res.status().to_string().c_str());
+    arr.vol = std::move(res).value();
+    return arr;
+}
+
+struct SweepPoint {
+    std::string label;
+    double err_rate;
+    int slow_dev = -1; ///< device with an 8x latency multiplier
+    bool degraded = false; ///< device 0 failed before the workload
+};
+
+struct Record {
+    SweepPoint point;
+    std::string mode;
+    double mibs;
+    double p99_us;
+    uint64_t io_retries;
+    uint64_t io_timeouts;
+    uint64_t dev_errors;
+};
+
+Record
+run_point(const SweepPoint &pt, const std::string &mode)
+{
+    constexpr uint32_t kBs = 64; // 256 KiB blocks
+    BenchScale scale;
+    auto arr = make_faulty_array(scale, pt.err_rate, pt.slow_dev);
+    RaiznTarget target(arr.vol.get());
+    uint64_t zone_cap = arr.vol->zone_capacity();
+
+    double mibs = 0, p99_us = 0;
+    if (mode == "seqwrite") {
+        if (pt.degraded)
+            arr.vol->mark_device_failed(0);
+        WorkloadRunner runner(arr.loop.get(), &target);
+        auto jobs = seq_jobs(RwMode::kSeqWrite, kBs, 8, 64,
+                             target.capacity(), zone_cap);
+        for (auto &j : jobs)
+            j.io_limit = kIosPerJob;
+        auto res = runner.run_merged(jobs);
+        mibs = res.throughput_mibs();
+        p99_us = static_cast<double>(res.latency.p99()) / 1e3;
+    } else { // randread
+        prime_target(arr.loop.get(), &target, target.capacity());
+        if (pt.degraded)
+            arr.vol->mark_device_failed(0);
+        WorkloadRunner runner(arr.loop.get(), &target);
+        JobSpec s = rand_read_job(kBs, 256, target.capacity());
+        s.io_limit = 8 * kIosPerJob;
+        auto res = runner.run_merged({s});
+        mibs = res.throughput_mibs();
+        p99_us = static_cast<double>(res.latency.p99()) / 1e3;
+    }
+
+    const VolumeStats &st = arr.vol->stats();
+    std::printf("  %-10s %-9s %8.0f MiB/s  p99 %7.0f us  %s\n",
+                pt.label.c_str(), mode.c_str(), mibs, p99_us,
+                st.dump().c_str());
+    return {pt,        mode,          mibs,         p99_us,
+            st.io_retries, st.io_timeouts, st.dev_errors};
+}
+
+} // namespace
+
+int
+main()
+{
+    print_header("Fault sweep: throughput/p99 vs injected error rate");
+
+    std::vector<SweepPoint> points;
+    for (double r : {0.0, 1e-4, 1e-3, 5e-3, 1e-2}) {
+        char label[32];
+        std::snprintf(label, sizeof(label), "err=%g", r);
+        points.push_back({label, r, -1, false});
+    }
+    points.push_back({"fail-slow", 1e-3, /*slow_dev=*/2, false});
+    points.push_back({"degraded", 1e-3, -1, /*degraded=*/true});
+
+    std::vector<Record> records;
+    for (const auto &pt : points)
+        for (const char *mode : {"seqwrite", "randread"})
+            records.push_back(run_point(pt, mode));
+
+    FILE *f = std::fopen("BENCH_fault_sweep.json", "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write BENCH_fault_sweep.json\n");
+        return 1;
+    }
+    BenchScale scale;
+    std::fprintf(f,
+                 "{\n  \"config\": {\"num_devices\": %u, "
+                 "\"zones_per_device\": %u, \"zone_cap_sectors\": %llu, "
+                 "\"su_sectors\": %u, \"block_sectors\": 64},\n"
+                 "  \"points\": [\n",
+                 scale.num_devices, scale.zones_per_device,
+                 (unsigned long long)scale.zone_cap_sectors,
+                 scale.su_sectors);
+    for (size_t i = 0; i < records.size(); ++i) {
+        const Record &r = records[i];
+        std::fprintf(
+            f,
+            "    {\"label\": \"%s\", \"err_rate\": %g, "
+            "\"slow_dev\": %d, \"degraded\": %s, \"mode\": \"%s\", "
+            "\"mibs\": %.1f, \"p99_us\": %.1f, \"io_retries\": %llu, "
+            "\"io_timeouts\": %llu, \"dev_errors\": %llu}%s\n",
+            r.point.label.c_str(), r.point.err_rate, r.point.slow_dev,
+            r.point.degraded ? "true" : "false", r.mode.c_str(), r.mibs,
+            r.p99_us, (unsigned long long)r.io_retries,
+            (unsigned long long)r.io_timeouts,
+            (unsigned long long)r.dev_errors,
+            i + 1 < records.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("\nwrote BENCH_fault_sweep.json (%zu records)\n",
+                records.size());
+    return 0;
+}

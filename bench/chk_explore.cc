@@ -39,6 +39,10 @@ usage(const char *argv0)
             "  --seed S          sweep: RNG seed\n"
             "  --points a,b,c    replay: explicit crash points\n"
             "  --fault skip-pp   plant the skip-partial-parity bug\n"
+            "  --err-rate R      inject transient IO errors at rate R\n"
+            "  --bitflip-rate R  flip one bit of read payloads at rate R\n"
+            "  --fault-seed S    seed for the fault schedule\n"
+            "  --slow-dev D      make device D 8x slower (fail-slow)\n"
             "  --smoke           bounded exhaustive+sweep for ctest\n",
             argv0);
     return 2;
@@ -105,6 +109,9 @@ main(int argc, char **argv)
     uint64_t runs = 64, seed = 1;
     std::vector<uint64_t> points;
     auto fault = raizn::RaiznVolume::DebugFault::kNone;
+    double err_rate = 0.0, bitflip_rate = 0.0;
+    uint64_t fault_seed = 0;
+    int slow_dev = -1;
 
     int i = 1;
     if (i < argc && argv[i][0] != '-')
@@ -136,6 +143,14 @@ main(int argc, char **argv)
             if (f != "skip-pp")
                 return usage(argv[0]);
             fault = raizn::RaiznVolume::DebugFault::kSkipPartialParityLog;
+        } else if (a == "--err-rate") {
+            err_rate = strtod(next(), nullptr);
+        } else if (a == "--bitflip-rate") {
+            bitflip_rate = strtod(next(), nullptr);
+        } else if (a == "--fault-seed") {
+            fault_seed = strtoull(next(), nullptr, 0);
+        } else if (a == "--slow-dev") {
+            slow_dev = static_cast<int>(strtol(next(), nullptr, 0));
         } else if (a == "--smoke") {
             smoke = true;
         } else {
@@ -164,12 +179,41 @@ main(int argc, char **argv)
     }
     opts.check_degraded = degraded;
     opts.fault = fault;
+    if (err_rate > 0) {
+        opts.faults.read_error_rate = err_rate;
+        opts.faults.write_error_rate = err_rate;
+    }
+    opts.faults.bitflip_rate = bitflip_rate;
+    if (fault_seed)
+        opts.faults.seed = fault_seed;
+    opts.fail_slow_dev = slow_dev;
 
     std::string repro = " --workload " + wl_spec + " --policy " + policy;
     if (fault != raizn::RaiznVolume::DebugFault::kNone)
         repro += " --fault skip-pp";
     if (degraded)
         repro += " --degraded";
+    if (err_rate > 0) {
+        char buf[64];
+        snprintf(buf, sizeof(buf), " --err-rate %g", err_rate);
+        repro += buf;
+    }
+    if (bitflip_rate > 0) {
+        char buf[64];
+        snprintf(buf, sizeof(buf), " --bitflip-rate %g", bitflip_rate);
+        repro += buf;
+    }
+    if (fault_seed) {
+        char buf[64];
+        snprintf(buf, sizeof(buf), " --fault-seed %llu",
+                 (unsigned long long)fault_seed);
+        repro += buf;
+    }
+    if (slow_dev >= 0) {
+        char buf[64];
+        snprintf(buf, sizeof(buf), " --slow-dev %d", slow_dev);
+        repro += buf;
+    }
 
     int rc = 0;
     if (smoke) {

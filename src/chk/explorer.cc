@@ -182,6 +182,9 @@ ChkReport::summary() const
 struct CrashPointExplorer::Array {
     std::unique_ptr<EventLoop> loop;
     std::vector<std::unique_ptr<ZnsDevice>> devs;
+    /// Fault decorators over `devs` (workload phase only; empty when
+    /// no faults are configured).
+    std::vector<std::unique_ptr<FaultInjectingDevice>> fdevs;
     std::unique_ptr<RaiznVolume> vol;
 
     std::vector<ZnsDevice *>
@@ -229,6 +232,22 @@ CrashPointExplorer::drive(Array &arr, ShadowVolume &shadow,
             std::make_unique<ZnsDevice>(arr.loop.get(), dc));
         ptrs.push_back(arr.devs.back().get());
     }
+    bool inject = opts_.faults.any() || opts_.fail_slow_dev >= 0;
+    if (inject) {
+        // The volume talks to fault decorators; traces and the
+        // post-crash remount stay on the raw devices underneath.
+        ptrs.clear();
+        for (uint32_t i = 0; i < cfg_.num_devices; ++i) {
+            FaultConfig fc = opts_.faults;
+            fc.seed = opts_.faults.seed ^
+                (0x9e3779b97f4a7c15ull * (i + 1));
+            if (static_cast<int>(i) == opts_.fail_slow_dev)
+                fc.latency_multiplier = opts_.fail_slow_mult;
+            arr.fdevs.push_back(std::make_unique<FaultInjectingDevice>(
+                arr.loop.get(), arr.devs[i].get(), fc));
+            ptrs.push_back(arr.fdevs.back().get());
+        }
+    }
     RaiznConfig rc;
     rc.num_devices = cfg_.num_devices;
     rc.su_sectors = cfg_.su_sectors;
@@ -240,6 +259,15 @@ CrashPointExplorer::drive(Array &arr, ShadowVolume &shadow,
     }
     arr.vol = std::move(created).value();
     arr.vol->set_debug_fault(opts_.fault);
+    if (inject) {
+        RaiznVolume::ResilienceConfig rcfg;
+        if (opts_.faults.stuck_rate > 0 || opts_.fail_slow_dev >= 0) {
+            // Serial workload => tiny queue depth: a 10ms deadline
+            // catches stuck IOs without tripping on queueing.
+            rcfg.retry.io_deadline = 10 * kNsPerMs;
+        }
+        arr.vol->set_resilience(rcfg);
+    }
 
     // Trace every completion from here on; mkfs is excluded so crash
     // point 0 is "power cut before the workload's first completion".

@@ -21,6 +21,7 @@
 
 #include "chk/oracle.h"
 #include "chk/workload.h"
+#include "fault/fault_device.h"
 #include "raizn/volume.h"
 #include "zns/zns_device.h"
 
@@ -50,6 +51,15 @@ struct ChkOptions {
     /// Verify each replay followed the reference schedule exactly.
     bool verify_replay = true;
     RaiznVolume::DebugFault fault = RaiznVolume::DebugFault::kNone;
+    /// Transient-fault schedule applied to every device during the
+    /// workload phase (never during remount/recovery, so the oracle
+    /// judges the volume's resilience, not the injector). The
+    /// schedule is seeded per device and replays identically in the
+    /// reference and crash runs, preserving the replay-hash check.
+    FaultConfig faults;
+    /// Device index given `fail_slow_mult`x latency (-1: none).
+    int fail_slow_dev = -1;
+    double fail_slow_mult = 8.0;
 };
 
 struct ChkReport {

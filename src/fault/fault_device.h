@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Transient-fault injection decorator over BlockDevice. Wraps a real
+ * (emulated) device and injects deterministic, seeded faults between
+ * the host and the device:
+ *
+ *   - transient read/write errors (kIoError) that never reach the
+ *     device, so no state changes — a retry can succeed
+ *   - transient zone-state errors (kBusy) on writes/appends and zone
+ *     management commands, modeling ZNS "unwritten contract"
+ *     violations (zone busy / too many active resources)
+ *   - torn multi-sector writes: a prefix of the payload reaches the
+ *     media, the rest does not, and the command reports kIoError —
+ *     the write pointer advances by the prefix only
+ *   - silent bit-flips on read: the command succeeds but one
+ *     deterministic bit of the returned payload is flipped
+ *   - fail-slow behavior: a latency multiplier on every completion
+ *     plus occasional "stuck" commands delayed long enough to trip
+ *     the host's I/O deadline watchdog
+ *
+ * All decisions come from one xoshiro RNG seeded per device; a fixed
+ * number of samples is drawn per submitted command regardless of which
+ * branches trigger, so fault schedules are stable under config changes
+ * that only toggle rates.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/rng.h"
+#include "zns/block_device.h"
+
+namespace raizn {
+
+class EventLoop;
+
+/// Per-device fault rates and timing knobs. All rates in [0,1].
+struct FaultConfig {
+    uint64_t seed = 0xfa017ULL;
+    double read_error_rate = 0.0;
+    double write_error_rate = 0.0; ///< writes, appends, flushes
+    double zone_error_rate = 0.0; ///< kBusy on write/append/zone mgmt
+    double torn_write_rate = 0.0; ///< multi-sector kWrite only
+    double bitflip_rate = 0.0; ///< silent corruption of read payloads
+    double latency_multiplier = 1.0; ///< >1 models a fail-slow device
+    double stuck_rate = 0.0; ///< probability a command hangs
+    Tick stuck_delay = 50 * kNsPerMs; ///< extra delay for stuck commands
+    Tick error_latency = 20 * kNsPerUs; ///< service time of injected errors
+
+    bool
+    any() const
+    {
+        return read_error_rate > 0 || write_error_rate > 0 ||
+               zone_error_rate > 0 || torn_write_rate > 0 ||
+               bitflip_rate > 0 || latency_multiplier > 1.0 ||
+               stuck_rate > 0;
+    }
+};
+
+/// One-shot targeted injections for tests.
+enum class FaultKind : uint8_t {
+    kIoError,
+    kZoneBusy,
+    kTornWrite,
+    kBitflip,
+    kStuck,
+};
+
+/// Cumulative injection counters.
+struct FaultStats {
+    uint64_t ops = 0;
+    uint64_t read_errors = 0;
+    uint64_t write_errors = 0;
+    uint64_t zone_errors = 0;
+    uint64_t torn_writes = 0;
+    uint64_t bitflips = 0;
+    uint64_t stuck_ios = 0;
+};
+
+/**
+ * BlockDevice decorator injecting the faults above. Geometry, stats,
+ * zone reporting, and failure state all pass through to the inner
+ * device; only submit() is intercepted. When the inner device has
+ * failed() no faults are injected, so kOffline semantics (immediate
+ * failure detection) are preserved.
+ */
+class FaultInjectingDevice : public BlockDevice
+{
+  public:
+    FaultInjectingDevice(EventLoop *loop, BlockDevice *inner,
+                         FaultConfig config);
+
+    const DeviceGeometry &geometry() const override
+    {
+        return inner_->geometry();
+    }
+    const DeviceStats &stats() const override { return inner_->stats(); }
+    DataMode data_mode() const override { return inner_->data_mode(); }
+
+    void submit(IoRequest req, IoCallback cb) override;
+    Result<ZoneInfo> zone_info(uint32_t zone_index) const override
+    {
+        return inner_->zone_info(zone_index);
+    }
+
+    bool failed() const override { return inner_->failed(); }
+    void fail() override { inner_->fail(); }
+
+    BlockDevice *underlying() const { return inner_; }
+    const FaultStats &fault_stats() const { return fstats_; }
+    const FaultConfig &config() const { return config_; }
+
+    /// Re-binds the wrapper to a (new) event loop after power_cut.
+    void reattach(EventLoop *loop) { loop_ = loop; }
+
+    /// Queues a one-shot fault applied to the next command whose op
+    /// matches `op` (kBitflip pairs with kRead, kTornWrite/kZoneBusy
+    /// with kWrite, etc.). Ignores the random rates for that command.
+    void inject_once(IoOp op, FaultKind kind);
+
+  private:
+    struct Draw {
+        double err, zone, torn, flip, stuck;
+    };
+    Draw draw();
+    bool take_injection(IoOp op, FaultKind kind);
+    void deliver(IoCallback cb, IoResult r, Tick extra);
+
+    EventLoop *loop_;
+    BlockDevice *inner_;
+    FaultConfig config_;
+    Rng rng_;
+    FaultStats fstats_;
+    std::deque<std::pair<IoOp, FaultKind>> one_shots_;
+};
+
+} // namespace raizn

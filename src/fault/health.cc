@@ -1,0 +1,77 @@
+#include "fault/health.h"
+
+#include <algorithm>
+
+namespace raizn {
+
+HealthMonitor::HealthMonitor(uint32_t num_devices, HealthConfig cfg)
+    : cfg_(cfg), devs_(num_devices)
+{
+}
+
+void
+HealthMonitor::record_success(uint32_t dev, Tick latency)
+{
+    DeviceHealth &h = devs_[dev];
+    h.successes++;
+    h.consec_errors = 0;
+    h.consec_timeouts = 0;
+    if (h.ewma_latency_ns == 0.0)
+        h.ewma_latency_ns = static_cast<double>(latency);
+    else
+        h.ewma_latency_ns =
+            cfg_.ewma_alpha * static_cast<double>(latency) +
+            (1.0 - cfg_.ewma_alpha) * h.ewma_latency_ns;
+}
+
+void
+HealthMonitor::record_error(uint32_t dev)
+{
+    devs_[dev].errors++;
+    devs_[dev].consec_errors++;
+}
+
+void
+HealthMonitor::record_timeout(uint32_t dev)
+{
+    devs_[dev].timeouts++;
+    devs_[dev].consec_timeouts++;
+}
+
+void
+HealthMonitor::record_op_failure(uint32_t dev)
+{
+    devs_[dev].op_failures++;
+}
+
+bool
+HealthMonitor::should_fail(uint32_t dev) const
+{
+    const DeviceHealth &h = devs_[dev];
+    return h.op_failures >= cfg_.failed_op_threshold ||
+           h.consec_errors >= cfg_.error_threshold ||
+           h.consec_timeouts >= cfg_.timeout_threshold;
+}
+
+bool
+HealthMonitor::fail_slow(uint32_t dev) const
+{
+    const DeviceHealth &h = devs_[dev];
+    if (h.successes < cfg_.min_samples || h.ewma_latency_ns <= 0.0)
+        return false;
+    // Median latency EWMA of the peers that have enough samples.
+    std::vector<double> peers;
+    for (uint32_t d = 0; d < devs_.size(); ++d) {
+        if (d == dev || devs_[d].successes < cfg_.min_samples)
+            continue;
+        if (devs_[d].ewma_latency_ns > 0.0)
+            peers.push_back(devs_[d].ewma_latency_ns);
+    }
+    if (peers.empty())
+        return false;
+    std::sort(peers.begin(), peers.end());
+    double median = peers[peers.size() / 2];
+    return h.ewma_latency_ns > cfg_.slow_factor * median;
+}
+
+} // namespace raizn

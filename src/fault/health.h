@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Per-device health tracking. The volume reports every device-level
+ * outcome here (success + latency, transient error, watchdog timeout,
+ * exhausted retry budget); the monitor decides when the accumulated
+ * evidence crosses the failure threshold and flags fail-slow devices
+ * by comparing latency EWMAs across array members.
+ *
+ * Escalation policy: should_fail() trips on any exhausted operation
+ * (the retrier already spent its bounded budget — the md-raid rule of
+ * kicking a member on a persistent write error generalizes here), or
+ * on a run of consecutive timeouts / transient errors even if
+ * individual operations kept scraping through. fail_slow() is
+ * advisory: it detects a member whose latency EWMA is a configurable
+ * factor above its peers, which operators drain proactively but which
+ * does not by itself fail the device.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace raizn {
+
+struct HealthConfig {
+    uint32_t failed_op_threshold = 1; ///< exhausted ops before failure
+    uint32_t error_threshold = 12; ///< consecutive transient errors
+    uint32_t timeout_threshold = 6; ///< consecutive watchdog timeouts
+    double ewma_alpha = 0.2; ///< latency EWMA smoothing
+    double slow_factor = 8.0; ///< EWMA ratio vs. peers => fail-slow
+    uint32_t min_samples = 16; ///< samples before fail-slow verdicts
+};
+
+/// Snapshot of one device's health counters.
+struct DeviceHealth {
+    uint64_t successes = 0;
+    uint64_t errors = 0; ///< transient errors (retried)
+    uint64_t timeouts = 0; ///< watchdog deadline expirations
+    uint64_t op_failures = 0; ///< operations that exhausted retries
+    uint32_t consec_errors = 0;
+    uint32_t consec_timeouts = 0;
+    double ewma_latency_ns = 0.0;
+};
+
+class HealthMonitor
+{
+  public:
+    explicit HealthMonitor(uint32_t num_devices, HealthConfig cfg = {});
+
+    void record_success(uint32_t dev, Tick latency);
+    void record_error(uint32_t dev);
+    void record_timeout(uint32_t dev);
+    void record_op_failure(uint32_t dev);
+
+    /// True once the evidence warrants mark_device_failed().
+    bool should_fail(uint32_t dev) const;
+
+    /// True if `dev` is healthy-but-slow relative to its peers.
+    bool fail_slow(uint32_t dev) const;
+
+    const DeviceHealth &device(uint32_t dev) const { return devs_[dev]; }
+    const HealthConfig &config() const { return cfg_; }
+
+  private:
+    HealthConfig cfg_;
+    std::vector<DeviceHealth> devs_;
+};
+
+} // namespace raizn

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Bounded retry with exponential backoff and an I/O deadline watchdog
+ * for per-device commands. Sits between a volume and its member
+ * devices: transient errors (kIoError, kBusy) are retried on an
+ * EventLoop timer with exponentially growing backoff; commands that
+ * outlive the deadline are counted as timeouts, their eventual (stale)
+ * completion is dropped, and the command is retried; a command that
+ * exhausts its budget is reported to the HealthMonitor as a failed
+ * operation and errors out to the caller.
+ *
+ * Zoned writes need more care than idempotent commands: a failed write
+ * may have partially landed (torn write), and sibling sub-IOs retried
+ * out of order surface kWritePointerMismatch. Retry therefore probes
+ * the zone's write pointer (synchronous admin path) and acts on it:
+ *   wp >= end           the payload already landed — synthesize
+ *                       success (after an explicit flush if the
+ *                       original command was FUA, so durability is
+ *                       never claimed spuriously)
+ *   slba < wp < end     resubmit only the missing tail
+ *   wp == slba          resubmit the whole command
+ *   wp < slba           an earlier sub-IO has not landed yet — wait a
+ *                       backoff period and probe again, without
+ *                       consuming transient-retry budget
+ * kWritePointerMismatch likewise routes to the probe without spending
+ * the transient budget (it is self-inflicted ordering, not a device
+ * fault); the overall attempt cap still bounds the loop.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.h"
+#include "zns/block_device.h"
+
+namespace raizn {
+
+class EventLoop;
+class HealthMonitor;
+
+struct RetryPolicy {
+    bool enabled = true;
+    uint32_t max_transient_retries = 3; ///< retries after first attempt
+    uint32_t attempt_cap = 16; ///< hard bound incl. wp-probe reissues
+    Tick backoff_base = 50 * kNsPerUs;
+    uint32_t backoff_mult = 4; ///< backoff = base * mult^(n-1) + jitter
+    /// Watchdog deadline per attempt. 0 (the default) disables the
+    /// watchdog: completion time includes device queueing, so a
+    /// deadline is only meaningful for bounded-queue-depth workloads.
+    /// When enabled it must exceed the slowest command at the expected
+    /// queue depth (zone reset alone is 2ms).
+    Tick io_deadline = 0;
+    uint64_t jitter_seed = 0x7e717e5ULL;
+};
+
+class IoRetrier
+{
+  public:
+    /**
+     * `health` may be null. `retry_counter` / `timeout_counter` are
+     * owner-provided stat cells (e.g. &VolumeStats::io_retries),
+     * incremented per retry / per watchdog expiration; may be null.
+     */
+    IoRetrier(EventLoop *loop, RetryPolicy policy, HealthMonitor *health,
+              uint64_t *retry_counter, uint64_t *timeout_counter);
+
+    /**
+     * Submits `req` to `dev` with retry/watchdog handling; `cb` fires
+     * exactly once with the final outcome. `dev_index` identifies the
+     * device to the HealthMonitor.
+     */
+    void submit(BlockDevice *dev, uint32_t dev_index, IoRequest req,
+                IoCallback cb);
+
+    const RetryPolicy &policy() const { return policy_; }
+
+  private:
+    struct OpState;
+
+    void issue(const std::shared_ptr<OpState> &st);
+    void on_complete(const std::shared_ptr<OpState> &st, IoResult r);
+    void handle_retryable(const std::shared_ptr<OpState> &st, Status why);
+    void prepare_attempt(const std::shared_ptr<OpState> &st);
+    void exhaust(const std::shared_ptr<OpState> &st, Status why);
+    void finish(const std::shared_ptr<OpState> &st, IoResult r);
+    Tick backoff_for(uint32_t transient);
+
+    EventLoop *loop_;
+    RetryPolicy policy_;
+    HealthMonitor *health_;
+    uint64_t *retries_;
+    uint64_t *timeouts_;
+    Rng jitter_;
+};
+
+} // namespace raizn

@@ -35,6 +35,38 @@ MdVolume::MdVolume(EventLoop *loop, std::vector<BlockDevice *> devs,
     cache_ = std::make_unique<StripeCache>(
         stripe_sectors_ * kSectorSize, cfg_.stripe_cache_bytes,
         store_data_);
+    health_ = std::make_unique<HealthMonitor>(
+        static_cast<uint32_t>(devs_.size()));
+    retrier_ = std::make_unique<IoRetrier>(loop_, RetryPolicy{},
+                                           health_.get(),
+                                           &stats_.io_retries,
+                                           &stats_.io_timeouts);
+}
+
+void
+MdVolume::set_resilience(const RetryPolicy &retry,
+                         const HealthConfig &health)
+{
+    health_ = std::make_unique<HealthMonitor>(
+        static_cast<uint32_t>(devs_.size()), health);
+    retrier_ = std::make_unique<IoRetrier>(loop_, retry, health_.get(),
+                                           &stats_.io_retries,
+                                           &stats_.io_timeouts);
+}
+
+void
+MdVolume::dev_submit(uint32_t dev, IoRequest req, IoCallback cb)
+{
+    retrier_->submit(devs_[dev], dev, std::move(req), std::move(cb));
+}
+
+bool
+MdVolume::escalate_dev_error(uint32_t dev, const Status &s)
+{
+    stats_.dev_errors++;
+    if (s.code() == StatusCode::kOffline || health_->should_fail(dev))
+        mark_device_failed(dev);
+    return failed_dev_ == static_cast<int>(dev);
 }
 
 uint32_t
@@ -81,12 +113,21 @@ MdVolume::read_chunk(uint64_t stripe, uint32_t k, uint64_t lo,
                           std::move(cb));
         return;
     }
-    devs_[dev]->submit(
-        IoRequest::read(chunk_pba(stripe) + lo,
-                        static_cast<uint32_t>(hi - lo)),
-        [cb = std::move(cb)](IoResult r) {
-            cb(r.status, std::move(r.data));
-        });
+    dev_submit(dev,
+               IoRequest::read(chunk_pba(stripe) + lo,
+                               static_cast<uint32_t>(hi - lo)),
+               [this, stripe, k, lo, hi, dev,
+                cb = std::move(cb)](IoResult r) mutable {
+                   if (!r.status.is_ok() &&
+                       escalate_dev_error(dev, r.status)) {
+                       // Member failed after retries: serve the read
+                       // from the surviving devices instead.
+                       reconstruct_chunk(stripe, static_cast<int>(k),
+                                         lo, hi, std::move(cb));
+                       return;
+                   }
+                   cb(r.status, std::move(r.data));
+               });
 }
 
 void
@@ -119,10 +160,14 @@ MdVolume::reconstruct_chunk(
     };
     auto read_dev = [&](uint32_t dev) {
         ctx->pending++;
-        devs_[dev]->submit(
-            IoRequest::read(chunk_pba(stripe) + lo,
-                            static_cast<uint32_t>(hi - lo)),
-            [one](IoResult r) { one(r.status, r.data); });
+        dev_submit(dev,
+                   IoRequest::read(chunk_pba(stripe) + lo,
+                                   static_cast<uint32_t>(hi - lo)),
+                   [this, one, dev](IoResult r) {
+                       if (!r.status.is_ok())
+                           escalate_dev_error(dev, r.status);
+                       one(r.status, r.data);
+                   });
     };
     for (uint32_t k = 0; k < D; ++k) {
         if (static_cast<int>(k) == pos)
@@ -453,7 +498,13 @@ MdVolume::write_chunks(uint64_t stripe, uint64_t lo, uint64_t hi,
                        const std::vector<uint8_t> &parity,
                        std::shared_ptr<WriteCtx> ctx)
 {
-    auto on_done = [this, ctx](IoResult r) {
+    auto chunk_done = [this, ctx](uint32_t dev, IoResult r) {
+        if (!r.status.is_ok()) {
+            // Persistent write error: md kicks the member and the
+            // write completes degraded rather than failing.
+            if (escalate_dev_error(dev, r.status))
+                r.status = Status::ok();
+        }
         if (!r.status.is_ok() && ctx->status.is_ok())
             ctx->status = r.status;
         if (--ctx->pending == 0 && ctx->issued_all) {
@@ -484,7 +535,10 @@ MdVolume::write_chunks(uint64_t stripe, uint64_t lo, uint64_t hi,
                                 p + static_cast<size_t>(len) * kSectorSize);
             }
             ctx->pending++;
-            devs_[dev]->submit(std::move(req), on_done);
+            dev_submit(dev, std::move(req),
+                       [chunk_done, dev](IoResult r) {
+                           chunk_done(dev, std::move(r));
+                       });
         }
         cur += len;
     }
@@ -508,7 +562,10 @@ MdVolume::write_chunks(uint64_t stripe, uint64_t lo, uint64_t hi,
                     static_cast<ptrdiff_t>(phi_s * kSectorSize));
         }
         ctx->pending++;
-        devs_[pdev]->submit(std::move(req), on_done);
+        dev_submit(pdev, std::move(req),
+                   [chunk_done, pdev](IoResult r) {
+                       chunk_done(pdev, std::move(r));
+                   });
     }
 }
 
@@ -530,7 +587,14 @@ MdVolume::flush(IoCallback cb)
         if (static_cast<int>(d) == failed_dev_ || devs_[d]->failed())
             continue;
         (*pending)++;
-        devs_[d]->submit(IoRequest::flush(), done);
+        dev_submit(d, IoRequest::flush(),
+                   [this, done, d](IoResult r) mutable {
+                       if (!r.status.is_ok() &&
+                           escalate_dev_error(d, r.status)) {
+                           r.status = Status::ok();
+                       }
+                       done(std::move(r));
+                   });
     }
 }
 

@@ -14,6 +14,8 @@
 #include <memory>
 #include <vector>
 
+#include "fault/health.h"
+#include "fault/retry.h"
 #include "mdraid/stripe_cache.h"
 #include "zns/block_device.h"
 
@@ -36,6 +38,9 @@ struct MdVolumeStats {
     uint64_t partial_stripe_writes = 0;
     uint64_t degraded_reads = 0;
     uint64_t resynced_sectors = 0;
+    uint64_t io_retries = 0; ///< transparent transient-error retries
+    uint64_t io_timeouts = 0; ///< watchdog deadline expirations
+    uint64_t dev_errors = 0; ///< device errors after retry exhaustion
 };
 
 class MdVolume
@@ -62,6 +67,12 @@ class MdVolume
 
     void mark_device_failed(uint32_t dev);
     int failed_device() const { return failed_dev_; }
+
+    /// Replaces the retry policy and health thresholds (resets health
+    /// history). Same semantics as RaiznVolume::set_resilience.
+    void set_resilience(const RetryPolicy &retry,
+                        const HealthConfig &health = HealthConfig{});
+    const HealthMonitor &health() const { return *health_; }
 
     /**
      * Resyncs a replaced device: reconstructs and rewrites the ENTIRE
@@ -99,6 +110,12 @@ class MdVolume
         std::function<void(Status, std::vector<uint8_t>)> cb);
     uint64_t chunk_pba(uint64_t stripe) const;
     bool store_data() const { return store_data_; }
+    /// All device IO funnels through the retrier.
+    void dev_submit(uint32_t dev, IoRequest req, IoCallback cb);
+    /// Counts a post-retry device error; escalates to
+    /// mark_device_failed when the health evidence warrants it.
+    /// Returns true when `dev` is now the failed device.
+    bool escalate_dev_error(uint32_t dev, const Status &s);
 
     EventLoop *loop_;
     std::vector<BlockDevice *> devs_;
@@ -109,6 +126,8 @@ class MdVolume
     MdVolumeStats stats_;
     int failed_dev_ = -1;
     bool store_data_;
+    std::unique_ptr<HealthMonitor> health_;
+    std::unique_ptr<IoRetrier> retrier_;
 };
 
 } // namespace raizn

@@ -81,8 +81,9 @@ MdVolume::resync_device(uint32_t dev,
                 req.nsectors = cfg_.chunk_sectors;
                 if (store_data_)
                     req.data = std::move(acc->data);
-                devs_[job->dev]->submit(
-                    std::move(req), [this, job, pump](IoResult r) {
+                dev_submit(
+                    job->dev, std::move(req),
+                    [this, job, pump](IoResult r) {
                         if (!r.status.is_ok() && job->status.is_ok())
                             job->status = r.status;
                         stats_.resynced_sectors += cfg_.chunk_sectors;
@@ -120,10 +121,10 @@ MdVolume::resync_device(uint32_t dev,
                 if (d == job->dev)
                     continue;
                 acc->pending++;
-                devs_[d]->submit(
-                    IoRequest::read(chunk_pba(stripe),
-                                    cfg_.chunk_sectors),
-                    one);
+                dev_submit(d,
+                           IoRequest::read(chunk_pba(stripe),
+                                           cfg_.chunk_sectors),
+                           one);
             }
             acc->issued_all = true;
         }

@@ -82,6 +82,16 @@ MdManager::active_zone_wp(uint32_t dev, MdZoneRole role) const
 }
 
 void
+MdManager::md_submit(uint32_t dev, IoRequest req, IoCallback cb)
+{
+    if (retrier_) {
+        retrier_->submit(devs_[dev], dev, std::move(req), std::move(cb));
+        return;
+    }
+    devs_[dev]->submit(std::move(req), std::move(cb));
+}
+
+void
 MdManager::do_append(uint32_t dev, uint32_t zone_idx,
                      std::vector<uint8_t> bytes, bool durable, StatusCb cb)
 {
@@ -89,10 +99,10 @@ MdManager::do_append(uint32_t dev, uint32_t zone_idx,
     uint64_t sectors = bytes.size() / kSectorSize;
     st.wp[zone_idx] += sectors;
     st.sectors_written += sectors;
-    devs_[dev]->submit(
-        IoRequest::append(md_zone_pba(zone_idx), std::move(bytes),
-                          durable),
-        [cb = std::move(cb)](IoResult r) { cb(r.status); });
+    md_submit(dev,
+              IoRequest::append(md_zone_pba(zone_idx), std::move(bytes),
+                                durable),
+              [cb = std::move(cb)](IoResult r) { cb(r.status); });
 }
 
 void
@@ -137,8 +147,8 @@ MdManager::gc_switch(uint32_t dev, MdZoneRole role, StatusCb done)
         // 3. Checkpoint durable: recycle the old zone into the swap
         //    pool. (If power is lost before this reset, both zones are
         //    replayed at mount; duplicates are harmless.)
-        devs_[dev]->submit(
-            IoRequest::zone_reset(md_zone_pba(old_zone_u)),
+        md_submit(
+            dev, IoRequest::zone_reset(md_zone_pba(old_zone_u)),
             [this, dev, old_zone_u, done](IoResult r) {
                 if (r.status.is_ok()) {
                     dev_state_[dev].wp[old_zone_u] = 0;

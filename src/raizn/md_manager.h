@@ -20,6 +20,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/retry.h"
 #include "raizn/layout.h"
 #include "raizn/metadata.h"
 #include "zns/block_device.h"
@@ -52,6 +53,12 @@ class MdManager
     {
         snapshot_ = std::move(provider);
     }
+
+    /// Routes metadata appends through the volume's retry layer so
+    /// transient device errors are absorbed like any other sub-IO.
+    /// Pass nullptr to submit directly. Non-owning; the caller keeps
+    /// the retrier alive for the manager's lifetime.
+    void set_retrier(IoRetrier *retrier) { retrier_ = retrier; }
 
     /// mkfs path: resets all metadata zones and binds initial roles.
     Status format();
@@ -129,11 +136,15 @@ class MdManager
     void gc_switch(uint32_t dev, MdZoneRole role, StatusCb done);
     std::vector<uint8_t> encode(const MdAppend &entry) const;
 
+    /// Submits via the retrier when one is attached.
+    void md_submit(uint32_t dev, IoRequest req, IoCallback cb);
+
     EventLoop *loop_;
     const Layout *layout_;
     std::vector<BlockDevice *> devs_;
     std::vector<DevState> dev_state_;
     SnapshotProvider snapshot_;
+    IoRetrier *retrier_ = nullptr;
     uint64_t gc_runs_ = 0;
 };
 

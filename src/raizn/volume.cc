@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/crc32.h"
 #include "common/logging.h"
 #include "sim/event_loop.h"
 
@@ -49,9 +50,127 @@ RaiznVolume::RaiznVolume(EventLoop *loop, std::vector<BlockDevice *> devs,
     store_data_ = true;
     for (BlockDevice *d : devs_)
         store_data_ &= d->data_mode() == DataMode::kStore;
+
+    health_ = std::make_unique<HealthMonitor>(
+        static_cast<uint32_t>(devs_.size()));
+    retrier_ = std::make_unique<IoRetrier>(loop_, RetryPolicy{},
+                                           health_.get(),
+                                           &stats_.io_retries,
+                                           &stats_.io_timeouts);
+    md_->set_retrier(retrier_.get());
+    alive_ = std::make_shared<bool>(true);
 }
 
-RaiznVolume::~RaiznVolume() = default;
+RaiznVolume::~RaiznVolume()
+{
+    *alive_ = false;
+    scrub_running_ = false;
+}
+
+void
+RaiznVolume::set_resilience(const ResilienceConfig &rc)
+{
+    health_ = std::make_unique<HealthMonitor>(
+        static_cast<uint32_t>(devs_.size()), rc.health);
+    retrier_ = std::make_unique<IoRetrier>(loop_, rc.retry, health_.get(),
+                                           &stats_.io_retries,
+                                           &stats_.io_timeouts);
+    md_->set_retrier(retrier_.get());
+}
+
+void
+RaiznVolume::dev_submit(uint32_t dev, IoRequest req, IoCallback cb)
+{
+    retrier_->submit(devs_[dev], dev, std::move(req), std::move(cb));
+}
+
+bool
+RaiznVolume::escalate_dev_error(uint32_t dev, const Status &s)
+{
+    stats_.dev_errors++;
+    if (s.code() == StatusCode::kOffline || health_->should_fail(dev))
+        mark_device_failed(dev);
+    return failed_dev_ == static_cast<int>(dev);
+}
+
+void
+RaiznVolume::note_written_crcs(uint32_t zone, uint64_t off,
+                               const std::vector<uint8_t> &data,
+                               uint32_t nsectors)
+{
+    if (!store_data_)
+        return;
+    LZone &lz = zones_[zone];
+    if (lz.crcs.empty()) {
+        lz.crcs.assign(layout_->logical_zone_cap(), 0);
+        lz.crc_valid.assign(layout_->logical_zone_cap(), false);
+    }
+    for (uint32_t i = 0; i < nsectors; ++i) {
+        if (data.empty()) {
+            lz.crc_valid[off + i] = false;
+            continue;
+        }
+        lz.crcs[off + i] = crc32c(
+            data.data() + static_cast<size_t>(i) * kSectorSize,
+            kSectorSize);
+        lz.crc_valid[off + i] = true;
+    }
+}
+
+bool
+RaiznVolume::crc_range_ok(uint64_t lba, const uint8_t *bytes,
+                          uint32_t nsectors) const
+{
+    if (!store_data_ || bytes == nullptr)
+        return true;
+    uint32_t zone = layout_->zone_of(lba);
+    const LZone &lz = zones_[zone];
+    if (lz.crc_valid.empty())
+        return true;
+    uint64_t off = lba - lz.start;
+    for (uint32_t i = 0; i < nsectors; ++i) {
+        if (off + i >= lz.crc_valid.size() || !lz.crc_valid[off + i])
+            continue;
+        if (crc32c(bytes + static_cast<size_t>(i) * kSectorSize,
+                   kSectorSize) != lz.crcs[off + i]) {
+            return false;
+        }
+    }
+    return true;
+}
+
+std::string
+VolumeStats::dump() const
+{
+    std::string s;
+    auto kv = [&s](const char *k, uint64_t v) {
+        s += k;
+        s += '=';
+        s += std::to_string(v);
+        s += ' ';
+    };
+    kv("logical_reads", logical_reads);
+    kv("logical_writes", logical_writes);
+    kv("sectors_read", sectors_read);
+    kv("sectors_written", sectors_written);
+    kv("full_parity_writes", full_parity_writes);
+    kv("partial_parity_logs", partial_parity_logs);
+    kv("relocated_writes", relocated_writes);
+    kv("degraded_reads", degraded_reads);
+    kv("reconstructed_sectors", reconstructed_sectors);
+    kv("zone_resets", zone_resets);
+    kv("flushes", flushes);
+    kv("fua_writes", fua_writes);
+    kv("io_retries", io_retries);
+    kv("io_timeouts", io_timeouts);
+    kv("dev_errors", dev_errors);
+    kv("crc_mismatches", crc_mismatches);
+    kv("read_repairs", read_repairs);
+    kv("scrubbed_stripes", scrubbed_stripes);
+    if (!s.empty())
+        s.pop_back();
+    return s;
+}
 
 IoResult
 RaiznVolume::dev_sync(uint32_t dev, IoRequest req)
@@ -280,6 +399,7 @@ RaiznVolume::process_write(uint64_t lba, std::vector<uint8_t> data,
     stats_.sectors_written += nsectors;
     if (flags.fua)
         stats_.fua_writes++;
+    note_written_crcs(zone, lba - lz.start, data, nsectors);
 
     auto ctx = std::make_shared<WriteCtx>();
     ctx->flags = flags;
@@ -380,17 +500,17 @@ RaiznVolume::submit_data_subio(uint32_t dev, uint32_t zone, uint64_t pba,
     req.nsectors = nsectors;
     req.fua = fua;
     req.data = std::move(data);
-    devs_[dev]->submit(std::move(req),
-                       [this, ctx, dev](IoResult r) {
-                           if (!r.status.is_ok() &&
-                               r.status.code() == StatusCode::kOffline) {
-                               mark_device_failed(dev);
-                               ctx->dev_errors++;
-                               subio_done(ctx, Status::ok());
-                               return;
-                           }
-                           subio_done(ctx, r.status);
-                       });
+    dev_submit(dev, std::move(req),
+               [this, ctx, dev](IoResult r) {
+                   if (!r.status.is_ok() &&
+                       escalate_dev_error(dev, r.status)) {
+                       // Degraded write: the device is failed, the
+                       // stripe unit is omitted (§4.2).
+                       subio_done(ctx, Status::ok());
+                       return;
+                   }
+                   subio_done(ctx, r.status);
+               });
 }
 
 void
@@ -443,17 +563,15 @@ RaiznVolume::submit_parity_subio(uint32_t zone, uint64_t stripe,
     req.nsectors = cfg_.su_sectors;
     req.fua = fua;
     req.data = std::move(parity);
-    devs_[dev]->submit(std::move(req),
-                       [this, ctx, dev](IoResult r) {
-                           if (!r.status.is_ok() &&
-                               r.status.code() == StatusCode::kOffline) {
-                               mark_device_failed(dev);
-                               ctx->dev_errors++;
-                               subio_done(ctx, Status::ok());
-                               return;
-                           }
-                           subio_done(ctx, r.status);
-                       });
+    dev_submit(dev, std::move(req),
+               [this, ctx, dev](IoResult r) {
+                   if (!r.status.is_ok() &&
+                       escalate_dev_error(dev, r.status)) {
+                       subio_done(ctx, Status::ok());
+                       return;
+                   }
+                   subio_done(ctx, r.status);
+               });
 }
 
 MdAppend
@@ -607,10 +725,15 @@ RaiznVolume::start_fua_flush_phase(std::shared_ptr<WriteCtx> ctx)
         }
         ctx->pending++;
         stats_.fua_dependency_flushes++;
-        devs_[d]->submit(IoRequest::flush(),
-                         [this, ctx](IoResult r) {
-                             subio_done(ctx, r.status);
-                         });
+        dev_submit(d, IoRequest::flush(),
+                   [this, ctx, d](IoResult r) {
+                       if (!r.status.is_ok() &&
+                           escalate_dev_error(d, r.status)) {
+                           subio_done(ctx, Status::ok());
+                           return;
+                       }
+                       subio_done(ctx, r.status);
+                   });
     }
     if (ctx->pending == 0)
         finish_write(ctx);
@@ -646,7 +769,14 @@ RaiznVolume::flush(IoCallback cb)
         if (static_cast<int>(d) == failed_dev_ || devs_[d]->failed())
             continue;
         (*pending)++;
-        devs_[d]->submit(IoRequest::flush(), done);
+        dev_submit(d, IoRequest::flush(),
+                   [this, done, d](IoResult r) mutable {
+                       if (!r.status.is_ok() &&
+                           escalate_dev_error(d, r.status)) {
+                           r.status = Status::ok();
+                       }
+                       done(std::move(r));
+                   });
     }
     if (*pending == 0) {
         // No live devices.
@@ -717,6 +847,8 @@ RaiznVolume::reset_zone(uint32_t zone, IoCallback cb)
             lz.cond = raizn::ZoneState::kEmpty;
             lz.wp = lz.start;
             lz.pbm.clear();
+            lz.crcs.clear();
+            lz.crc_valid.clear();
             lz.buffers.clear();
             lz.has_reloc = false;
             reloc_.drop_zone(lz.start, lz.cap_end);
@@ -745,8 +877,14 @@ RaiznVolume::reset_zone(uint32_t zone, IoCallback cb)
             if (static_cast<int>(d) == failed_dev_ || devs_[d]->failed())
                 continue;
             (*pending)++;
-            devs_[d]->submit(IoRequest::zone_reset(phys_zone_start),
-                             on_reset);
+            dev_submit(d, IoRequest::zone_reset(phys_zone_start),
+                       [this, on_reset, d](IoResult r) mutable {
+                           if (!r.status.is_ok() &&
+                               escalate_dev_error(d, r.status)) {
+                               r.status = Status::ok();
+                           }
+                           on_reset(std::move(r));
+                       });
         }
         if (*pending == 0) {
             IoResult r;
@@ -872,7 +1010,14 @@ RaiznVolume::finish_zone(uint32_t zone, IoCallback cb)
             req.slba = slot;
             req.nsectors = cfg_.su_sectors;
             req.data = std::move(parity);
-            devs_[pdev]->submit(std::move(req), done);
+            dev_submit(pdev, std::move(req),
+                       [this, done, pdev](IoResult r) mutable {
+                           if (!r.status.is_ok() &&
+                               escalate_dev_error(pdev, r.status)) {
+                               r.status = Status::ok();
+                           }
+                           done(std::move(r));
+                       });
         }
     }
     uint64_t phys_zone_start =
@@ -881,7 +1026,14 @@ RaiznVolume::finish_zone(uint32_t zone, IoCallback cb)
         if (static_cast<int>(d) == failed_dev_ || devs_[d]->failed())
             continue;
         (*pending)++;
-        devs_[d]->submit(IoRequest::zone_finish(phys_zone_start), done);
+        dev_submit(d, IoRequest::zone_finish(phys_zone_start),
+                   [this, done, d](IoResult r) mutable {
+                       if (!r.status.is_ok() &&
+                           escalate_dev_error(d, r.status)) {
+                           r.status = Status::ok();
+                       }
+                       done(std::move(r));
+                   });
     }
     if (*pending == 0) {
         IoResult r;
@@ -960,13 +1112,29 @@ RaiznVolume::read_fast(uint64_t lba, uint32_t nsectors, IoCallback cb)
     };
     for (const auto &ext : extents) {
         ctx->pending++;
-        devs_[ext.dev]->submit(
-            IoRequest::read(ext.pba, ext.nsectors),
+        dev_submit(
+            ext.dev, IoRequest::read(ext.pba, ext.nsectors),
             [this, ctx, ext, complete_one](IoResult r) {
-                if (!r.status.is_ok() &&
-                    r.status.code() == StatusCode::kOffline) {
-                    // Device died under us: fall back to reconstruction.
-                    mark_device_failed(ext.dev);
+                if (!r.status.is_ok()) {
+                    // Retries exhausted or device died under us: if the
+                    // health monitor escalates to a device failure, fall
+                    // back to parity reconstruction.
+                    if (escalate_dev_error(ext.dev, r.status)) {
+                        read_extent_degraded(
+                            ext, [ext, complete_one](
+                                     Status s, std::vector<uint8_t> d) {
+                                complete_one(ext.lba, s, d);
+                            });
+                        return;
+                    }
+                    complete_one(ext.lba, r.status, r.data);
+                    return;
+                }
+                if (!r.data.empty() &&
+                    !crc_range_ok(ext.lba, r.data.data(), ext.nsectors)) {
+                    // Silent corruption: the payload disagrees with the
+                    // CRC catalog. Serve the read via reconstruction.
+                    stats_.crc_mismatches++;
                     read_extent_degraded(
                         ext, [ext, complete_one](Status s,
                                                  std::vector<uint8_t> d) {
@@ -1069,9 +1237,13 @@ RaiznVolume::read_slow(uint64_t lba, uint32_t nsectors, IoCallback cb)
                 } else if (static_cast<int>(rel->dev) != failed_dev_ &&
                            !devs_[rel->dev]->failed()) {
                     uint64_t at = cur;
-                    devs_[rel->dev]->submit(
+                    dev_submit(
+                        rel->dev,
                         IoRequest::read(rel->md_pba + off_in_rel, run_len),
-                        [complete_one, at](IoResult r) {
+                        [this, complete_one, at,
+                         rdev = rel->dev](IoResult r) {
+                            if (!r.status.is_ok())
+                                escalate_dev_error(rdev, r.status);
                             complete_one(at, r.status, r.data);
                         });
                 } else {
@@ -1095,9 +1267,33 @@ RaiznVolume::read_slow(uint64_t lba, uint32_t nsectors, IoCallback cb)
                     });
             } else {
                 uint64_t at = cur;
-                devs_[sub.dev]->submit(
-                    IoRequest::read(sub.pba, sub.nsectors),
-                    [complete_one, at](IoResult r) {
+                dev_submit(
+                    sub.dev, IoRequest::read(sub.pba, sub.nsectors),
+                    [this, complete_one, at, sub](IoResult r) {
+                        if (!r.status.is_ok()) {
+                            if (escalate_dev_error(sub.dev, r.status)) {
+                                read_extent_degraded(
+                                    sub, [complete_one, at](
+                                             Status s,
+                                             std::vector<uint8_t> d) {
+                                        complete_one(at, s, d);
+                                    });
+                                return;
+                            }
+                            complete_one(at, r.status, r.data);
+                            return;
+                        }
+                        if (!r.data.empty() &&
+                            !crc_range_ok(at, r.data.data(),
+                                          sub.nsectors)) {
+                            stats_.crc_mismatches++;
+                            read_extent_degraded(
+                                sub, [complete_one, at](
+                                         Status s, std::vector<uint8_t> d) {
+                                    complete_one(at, s, d);
+                                });
+                            return;
+                        }
                         complete_one(at, r.status, r.data);
                     });
             }
@@ -1258,10 +1454,12 @@ RaiznVolume::reconstruct_stripe_unit(
         } else if (static_cast<int>(dev) != failed_dev_ &&
                    !devs_[dev]->failed()) {
             uint64_t pba = layout_->slot_pba(zone, stripe) + lo;
-            devs_[dev]->submit(IoRequest::read(pba, len),
-                               [one_done](IoResult r) {
-                                   one_done(r.status, r.data);
-                               });
+            dev_submit(dev, IoRequest::read(pba, len),
+                       [this, one_done, dev](IoResult r) {
+                           if (!r.status.is_ok())
+                               escalate_dev_error(dev, r.status);
+                           one_done(r.status, r.data);
+                       });
         } else {
             loop_->schedule_after(kNsPerUs, [one_done] {
                 one_done(Status(StatusCode::kIoError,
@@ -1291,11 +1489,14 @@ RaiznVolume::reconstruct_stripe_unit(
             } else if (static_cast<int>(pdev) != failed_dev_ &&
                        !devs_[pdev]->failed()) {
                 uint64_t pba = layout_->slot_pba(zone, stripe) + lo;
-                devs_[pdev]->submit(IoRequest::read(
-                                        pba, static_cast<uint32_t>(hi - lo)),
-                                    [one_done](IoResult r) {
-                                        one_done(r.status, r.data);
-                                    });
+                dev_submit(pdev,
+                           IoRequest::read(pba,
+                                           static_cast<uint32_t>(hi - lo)),
+                           [this, one_done, pdev](IoResult r) {
+                               if (!r.status.is_ok())
+                                   escalate_dev_error(pdev, r.status);
+                               one_done(r.status, r.data);
+                           });
             } else {
                 loop_->schedule_after(kNsPerUs, [one_done] {
                     one_done(Status(StatusCode::kIoError,

@@ -16,9 +16,12 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "fault/health.h"
+#include "fault/retry.h"
 #include "raizn/config.h"
 #include "raizn/gen_counter.h"
 #include "raizn/layout.h"
@@ -61,6 +64,16 @@ struct VolumeStats {
     uint64_t zones_rebuilt = 0;
     uint64_t stripes_rebuilt = 0;
     uint64_t phys_zone_rebuilds = 0;
+    // Error-path counters (transient-fault resilience layer).
+    uint64_t io_retries = 0; ///< device commands retried after backoff
+    uint64_t io_timeouts = 0; ///< watchdog deadline expirations
+    uint64_t dev_errors = 0; ///< persistent (post-retry) device errors
+    uint64_t crc_mismatches = 0; ///< reads failing checksum validation
+    uint64_t read_repairs = 0; ///< units/parity repaired from redundancy
+    uint64_t scrubbed_stripes = 0; ///< stripes verified by the scrubber
+
+    /// One-line "key=value" rendering of every counter, for benches.
+    std::string dump() const;
 };
 
 class RaiznVolume
@@ -120,6 +133,48 @@ class RaiznVolume
     void finish_zone(uint32_t zone, IoCallback cb);
 
     // ---- Fault tolerance -------------------------------------------
+    /// Retry/backoff, watchdog, and health-escalation knobs.
+    struct ResilienceConfig {
+        RetryPolicy retry;
+        HealthConfig health;
+    };
+    /// Replaces the retry policy and health thresholds (resets health
+    /// history). Call before issuing IO.
+    void set_resilience(const ResilienceConfig &rc);
+    const HealthMonitor &health() const { return *health_; }
+
+    // ---- Scrubbing -------------------------------------------------
+    /// Outcome of one scrub pass over the written stripes.
+    struct ScrubReport {
+        uint64_t stripes_scanned = 0;
+        uint64_t parity_mismatches = 0; ///< XOR(data) != parity
+        uint64_t crc_mismatches = 0; ///< units failing their checksums
+        uint64_t repaired_units = 0; ///< data units read-repaired
+        uint64_t repaired_parity = 0; ///< parity units rewritten
+        uint64_t unrecoverable = 0; ///< mismatches scrub could not fix
+    };
+
+    /**
+     * Synchronously scrubs every eligible stripe (complete, at its
+     * home placement, all devices available): reads data + parity,
+     * verifies the parity equation and per-sector checksums, and
+     * read-repairs corrupted units from redundancy (repairs land in
+     * the metadata zones like any relocated stripe unit). Drives the
+     * event loop until the pass completes.
+     */
+    Status scrub_all(ScrubReport *report = nullptr);
+
+    /**
+     * Starts the background scrubber: one stripe every `interval`
+     * ticks, `on_pass` fired after each complete pass. Opt-in — never
+     * started automatically (benches drain the loop synchronously).
+     */
+    void start_scrubber(Tick interval,
+                        std::function<void(const ScrubReport &)> on_pass =
+                            nullptr);
+    void stop_scrubber();
+    bool scrubber_running() const { return scrub_running_; }
+
     /// Marks a device failed: reads reconstruct, writes omit it.
     void mark_device_failed(uint32_t dev);
     /// -1 when the array is healthy.
@@ -238,6 +293,17 @@ class RaiznVolume
     Status rebuild_zone_sync(uint32_t dev, uint32_t zone);
     Status rewrite_replicated_md(uint32_t dev);
 
+    // scrub.cc
+    void scrub_stripe(uint32_t zone, uint64_t stripe, ScrubReport *rep,
+                      std::function<void()> done);
+    void scrub_repair_unit(uint32_t zone, uint64_t stripe, uint32_t k,
+                           std::vector<uint8_t> data);
+    void scrub_repair_parity(uint32_t zone, uint64_t stripe,
+                             std::vector<uint8_t> parity);
+    std::vector<std::pair<uint32_t, uint64_t>> scrub_candidates() const;
+    void arm_scrubber();
+    void scrubber_step();
+
     // shared helpers
     /// True when (dev) cannot serve IO for `zone`: physically failed,
     /// or marked failed and the zone has not been rebuilt yet.
@@ -249,6 +315,23 @@ class RaiznVolume
     std::vector<MdAppend> snapshot_for_gc(uint32_t dev, MdZoneRole role);
     bool data_mode_store() const { return store_data_; }
     IoResult dev_sync(uint32_t dev, IoRequest req);
+    /// Data-path device submit: routes through the retrier/watchdog.
+    /// Recovery, rebuild, and metadata appends keep their direct paths.
+    void dev_submit(uint32_t dev, IoRequest req, IoCallback cb);
+    /// Called with a persistent (post-retry) device error: counts it
+    /// and escalates to mark_device_failed when the health evidence
+    /// warrants. Returns true when `dev` is now this volume's failed
+    /// device, i.e. the caller should degrade instead of propagating.
+    bool escalate_dev_error(uint32_t dev, const Status &s);
+    /// Records per-sector CRCs for a logical write (`off` is the zone-
+    /// relative sector offset); empty data invalidates the range.
+    void note_written_crcs(uint32_t zone, uint64_t off,
+                           const std::vector<uint8_t> &data,
+                           uint32_t nsectors);
+    /// Verifies `nsectors` of payload read at logical `lba` against
+    /// the CRC catalog; sectors without a recorded CRC pass.
+    bool crc_range_ok(uint64_t lba, const uint8_t *bytes,
+                      uint32_t nsectors) const;
 
     EventLoop *loop_;
     std::vector<BlockDevice *> devs_;
@@ -285,6 +368,20 @@ class RaiznVolume
     DebugFault debug_fault_ = DebugFault::kNone;
     bool rebuilding_ = false;
     std::vector<bool> zone_rebuilt_; ///< during rebuild_device
+
+    // Resilience layer.
+    std::unique_ptr<HealthMonitor> health_;
+    std::unique_ptr<IoRetrier> retrier_;
+
+    // Background scrubber state.
+    bool scrub_running_ = false;
+    Tick scrub_interval_ = 0;
+    std::function<void(const ScrubReport &)> scrub_cb_;
+    ScrubReport scrub_pass_;
+    std::vector<std::pair<uint32_t, uint64_t>> scrub_queue_;
+    size_t scrub_cursor_ = 0;
+    /// Guards scheduled scrub events against volume destruction.
+    std::shared_ptr<bool> alive_;
 };
 
 } // namespace raizn

@@ -23,6 +23,10 @@ struct RaiznVolume::LZone {
     std::vector<std::unique_ptr<StripeBuffer>> buffers;
     PersistBitmap pbm;
     std::deque<std::function<void()>> waiters;
+    /// Per-sector CRC32C catalog of the logical payload (data mode
+    /// only; empty after a remount until the scrubber repopulates it).
+    std::vector<uint32_t> crcs;
+    std::vector<bool> crc_valid;
 
     uint64_t written() const { return wp - start; }
 };
@@ -32,7 +36,6 @@ struct RaiznVolume::LZone {
 struct RaiznVolume::WriteCtx {
     uint32_t pending = 0;
     bool issued_all = false;
-    uint32_t dev_errors = 0;
     Status status;
     WriteFlags flags;
     uint32_t zone = 0;

@@ -88,6 +88,15 @@ ConvDevice::submit(IoRequest req, IoCallback cb)
                 Status(StatusCode::kInvalidArgument, "write out of range");
             break;
         }
+        // Payload must be sector-aligned and agree with nsectors
+        // (empty payloads are timing-only writes and always legal).
+        if (!req.data.empty() &&
+            (req.data.size() % kSectorSize != 0 ||
+             req.data.size() / kSectorSize != req.nsectors)) {
+            result.status = Status(StatusCode::kInvalidArgument,
+                                   "payload size disagrees with nsectors");
+            break;
+        }
         stats_.writes++;
         stats_.sectors_written += req.nsectors;
         result.lba = req.slba;

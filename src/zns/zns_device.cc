@@ -311,6 +311,15 @@ ZnsDevice::submit(IoRequest req, IoCallback cb)
                 Status(StatusCode::kInvalidArgument, "write out of range");
             break;
         }
+        // Payload must be sector-aligned and agree with nsectors
+        // (empty payloads are timing-only writes and always legal).
+        if (!req.data.empty() &&
+            (req.data.size() % kSectorSize != 0 ||
+             req.data.size() / kSectorSize != req.nsectors)) {
+            result.status = Status(StatusCode::kInvalidArgument,
+                                   "payload size disagrees with nsectors");
+            break;
+        }
         Zone &z = zone_at(req.slba);
         uint64_t slba = req.slba;
         if (req.op == IoOp::kAppend) {
@@ -510,6 +519,26 @@ ZnsDevice::reattach(EventLoop *loop)
 {
     loop_ = loop;
     timing_ = std::make_unique<TimingModel>(*loop_, config_.timing);
+}
+
+void
+ZnsDevice::corrupt(uint64_t lba, uint32_t nsectors, uint64_t seed)
+{
+    if (config_.data_mode != DataMode::kStore)
+        return;
+    Rng rng(seed ^ 0xc0441u);
+    for (uint32_t i = 0; i < nsectors; ++i) {
+        uint64_t cur = lba + i;
+        if (cur >= geom_.nsectors)
+            return;
+        Zone &z = zone_at(cur);
+        uint64_t off_in_zone = cur - zone_start(z);
+        if (z.data.empty() || off_in_zone >= config_.zone_capacity)
+            continue;
+        uint8_t *p = z.data.data() + off_in_zone * kSectorSize;
+        for (size_t b = 0; b < kSectorSize; b += 64)
+            p[b] ^= static_cast<uint8_t>(rng.next() | 1);
+    }
 }
 
 void

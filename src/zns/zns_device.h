@@ -104,6 +104,15 @@ class ZnsDevice : public BlockDevice
     /// Replaces the device with a factory-fresh one (rebuild target).
     void replace();
 
+    /**
+     * Test hook: silently corrupts `nsectors` of stored media starting
+     * at `lba` (XORs bytes with a pattern derived from `seed`). Models
+     * latent sector corruption; the device keeps serving the corrupted
+     * bytes without error, which is what scrubbing exists to catch.
+     * No-op in timing-only mode or on unwritten sectors.
+     */
+    void corrupt(uint64_t lba, uint32_t nsectors, uint64_t seed);
+
     /// Zone index containing `lba`.
     uint32_t zone_of(uint64_t lba) const
     {

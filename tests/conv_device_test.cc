@@ -39,6 +39,29 @@ class ConvDeviceTest : public ::testing::Test
     ConvDevice dev_;
 };
 
+TEST_F(ConvDeviceTest, PayloadMustAgreeWithNsectors)
+{
+    IoRequest bad;
+    bad.op = IoOp::kWrite;
+    bad.slba = 0;
+    bad.nsectors = 2;
+    bad.data.assign(kSectorSize - 1, 0xcd);
+    EXPECT_EQ(run(std::move(bad)).status.code(),
+              StatusCode::kInvalidArgument);
+
+    IoRequest wrong;
+    wrong.op = IoOp::kWrite;
+    wrong.slba = 0;
+    wrong.nsectors = 8;
+    wrong.data = pattern_data(4, 1);
+    EXPECT_EQ(run(std::move(wrong)).status.code(),
+              StatusCode::kInvalidArgument);
+
+    // Timing-only (empty payload) and matching payloads still work.
+    EXPECT_TRUE(run(IoRequest::write_len(0, 8)).status.is_ok());
+    EXPECT_TRUE(run(IoRequest::write(0, pattern_data(8, 2))).status.is_ok());
+}
+
 TEST_F(ConvDeviceTest, RandomWritesAndOverwritesAllowed)
 {
     ASSERT_TRUE(run(IoRequest::write(100, pattern_data(4, 1))).status);

@@ -50,6 +50,44 @@ TEST_F(ZnsDeviceTest, GeometryDerivedFromConfig)
     EXPECT_EQ(g.nsectors, 8u * 64u);
 }
 
+TEST_F(ZnsDeviceTest, PayloadMustAgreeWithNsectors)
+{
+    // Payload not a whole number of sectors.
+    IoRequest bad;
+    bad.op = IoOp::kWrite;
+    bad.slba = 0;
+    bad.nsectors = 2;
+    bad.data.assign(kSectorSize + 100, 0xab);
+    EXPECT_EQ(run(std::move(bad)).status.code(),
+              StatusCode::kInvalidArgument);
+
+    // Sector-aligned payload whose length disagrees with nsectors.
+    IoRequest wrong;
+    wrong.op = IoOp::kWrite;
+    wrong.slba = 0;
+    wrong.nsectors = 4;
+    wrong.data = pattern_data(2, 1);
+    EXPECT_EQ(run(std::move(wrong)).status.code(),
+              StatusCode::kInvalidArgument);
+
+    // Appends are validated the same way.
+    IoRequest app;
+    app.op = IoOp::kAppend;
+    app.slba = 0;
+    app.nsectors = 4;
+    app.data = pattern_data(3, 1);
+    EXPECT_EQ(run(std::move(app)).status.code(),
+              StatusCode::kInvalidArgument);
+
+    // Rejected commands leave the zone untouched; empty payloads
+    // (timing-only) and matching payloads still work.
+    auto zi = dev_.zone_info(0);
+    ASSERT_TRUE(zi.is_ok());
+    EXPECT_EQ(zi.value().wp, 0u);
+    EXPECT_TRUE(run(IoRequest::write_len(0, 4)).status.is_ok());
+    EXPECT_TRUE(run(IoRequest::write(4, pattern_data(4, 1))).status.is_ok());
+}
+
 TEST_F(ZnsDeviceTest, SequentialWriteAdvancesWp)
 {
     auto r = run(IoRequest::write(0, pattern_data(4, 1)));
