@@ -83,11 +83,22 @@ struct Record {
 };
 
 Record
-run_point(const SweepPoint &pt, const std::string &mode)
+run_point(const SweepPoint &pt, const std::string &mode,
+          BenchObs *obs = nullptr)
 {
     constexpr uint32_t kBs = 64; // 256 KiB blocks
     BenchScale scale;
     auto arr = make_faulty_array(scale, pt.err_rate, pt.slow_dev);
+    if (obs != nullptr) {
+        // Instrumented point: volume + fault-injector counters feed
+        // the registry, stage spans feed the trace ring.
+        arr.vol->attach_observability(&obs->registry, &obs->trace);
+        for (uint32_t i = 0; i < arr.fdevs.size(); ++i) {
+            obs::link_stats(obs->registry,
+                            "fault.dev" + std::to_string(i),
+                            arr.fdevs[i]->fault_stats());
+        }
+    }
     RaiznTarget target(arr.vol.get());
     uint64_t zone_cap = arr.vol->zone_capacity();
 
@@ -119,6 +130,12 @@ run_point(const SweepPoint &pt, const std::string &mode)
     std::printf("  %-10s %-9s %8.0f MiB/s  p99 %7.0f us  %s\n",
                 pt.label.c_str(), mode.c_str(), mibs, p99_us,
                 st.dump().c_str());
+    if (obs != nullptr) {
+        // Export before the array (and the linked counters) dies.
+        std::printf("  instrumented point: %s %s\n", pt.label.c_str(),
+                    mode.c_str());
+        obs->finish(arr.vol->num_devices());
+    }
     return {pt,        mode,          mibs,         p99_us,
             st.io_retries, st.io_timeouts, st.dev_errors};
 }
@@ -126,8 +143,11 @@ run_point(const SweepPoint &pt, const std::string &mode)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    ObsOptions oo;
+    if (!parse_obs_args(argc, argv, &oo))
+        return 2;
     print_header("Fault sweep: throughput/p99 vs injected error rate");
 
     std::vector<SweepPoint> points;
@@ -139,10 +159,20 @@ main()
     points.push_back({"fail-slow", 1e-3, /*slow_dev=*/2, false});
     points.push_back({"degraded", 1e-3, -1, /*degraded=*/true});
 
+    // The err=1e-3 seqwrite point doubles as the instrumented run:
+    // retries and error handling show up as extra device spans in its
+    // stage breakdown.
+    BenchObs obs;
+    obs.opts = oo;
     std::vector<Record> records;
-    for (const auto &pt : points)
-        for (const char *mode : {"seqwrite", "randread"})
-            records.push_back(run_point(pt, mode));
+    for (const auto &pt : points) {
+        for (const char *mode : {"seqwrite", "randread"}) {
+            bool instrument = pt.err_rate == 1e-3 && pt.slow_dev < 0 &&
+                !pt.degraded && std::string(mode) == "seqwrite";
+            records.push_back(
+                run_point(pt, mode, instrument ? &obs : nullptr));
+        }
+    }
 
     FILE *f = std::fopen("BENCH_fault_sweep.json", "w");
     if (!f) {

@@ -7,14 +7,116 @@
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "wkld/runner.h"
 #include "wkld/setup.h"
 #include "wkld/target.h"
 
 namespace raizn::bench {
+
+/// Observability flags shared by the benches: --metrics-out <path>
+/// writes the registry JSON, --trace-out <path> the Chrome trace, and
+/// --smoke bounds the run for ctest.
+struct ObsOptions {
+    std::string metrics_out;
+    std::string trace_out;
+    bool smoke = false;
+};
+
+/**
+ * Consumes the observability flags from argv; returns false (and
+ * prints usage) on an unrecognized argument so benches without flags
+ * of their own can pass argc/argv straight through.
+ */
+inline bool
+parse_obs_args(int argc, char **argv, ObsOptions *out)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--metrics-out" && i + 1 < argc) {
+            out->metrics_out = argv[++i];
+        } else if (a == "--trace-out" && i + 1 < argc) {
+            out->trace_out = argv[++i];
+        } else if (a == "--smoke") {
+            out->smoke = true;
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--metrics-out m.json] "
+                         "[--trace-out t.json] [--smoke]\n",
+                         argv[0]);
+            return false;
+        }
+    }
+    return true;
+}
+
+/// Registry + trace ring for one instrumented bench pass, plus the
+/// export step (stage table to stdout, JSON files when requested).
+struct BenchObs {
+    ObsOptions opts;
+    obs::MetricsRegistry registry;
+    obs::TraceRecorder trace{1 << 16};
+
+    /**
+     * Prints the per-stage latency table and writes the JSON outputs.
+     * `num_devices` names the device tracks in the Chrome trace.
+     */
+    void
+    finish(uint32_t num_devices)
+    {
+        std::printf("\n-- per-stage latency breakdown --\n%s",
+                    trace.stage_breakdown().c_str());
+        if (!opts.metrics_out.empty()) {
+            Status s = registry.write_json(opts.metrics_out);
+            std::printf("metrics json: %s%s\n", opts.metrics_out.c_str(),
+                        s.is_ok() ? "" : (" FAILED: " + s.to_string())
+                                             .c_str());
+        }
+        if (!opts.trace_out.empty()) {
+            Status s = trace.write_chrome_json(opts.trace_out,
+                                               num_devices);
+            std::printf("chrome trace: %s (open in chrome://tracing or "
+                        "ui.perfetto.dev)%s\n",
+                        opts.trace_out.c_str(),
+                        s.is_ok() ? "" : (" FAILED: " + s.to_string())
+                                             .c_str());
+        }
+    }
+
+    /**
+     * Coverage of `total_stage` requests: for each traced request that
+     * has a `total_stage` span, the fraction of its wall time covered
+     * by its other spans. Returns the minimum across sampled requests
+     * (worst case), or 0 when none were traced; `*n_out` gets the
+     * sample count and `*mean_out` the average when non-null.
+     */
+    double
+    write_coverage(const char *total_stage, size_t *n_out = nullptr,
+                   double *mean_out = nullptr) const
+    {
+        std::vector<uint64_t> reqs;
+        for (const obs::TraceSpan &s : trace.spans()) {
+            if (std::strcmp(s.stage, total_stage) == 0)
+                reqs.push_back(s.req);
+        }
+        double worst = reqs.empty() ? 0.0 : 1.0, sum = 0.0;
+        for (uint64_t r : reqs) {
+            double c = trace.request_coverage(r, total_stage);
+            worst = std::min(worst, c);
+            sum += c;
+        }
+        if (n_out != nullptr)
+            *n_out = reqs.size();
+        if (mean_out != nullptr && !reqs.empty())
+            *mean_out = sum / static_cast<double>(reqs.size());
+        return worst;
+    }
+};
 
 /// Paper sweep: 4 KiB .. 1 MiB block sizes (in sectors).
 inline const std::vector<uint32_t> kBlockSweep = {1, 4, 16, 64, 256};

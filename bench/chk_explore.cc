@@ -15,6 +15,9 @@
  * Workloads: canonical (default), degraded[:dev], random[:seed[:nops]].
  * Policies: drop (default), keep, random, divergent.
  */
+#include <sys/stat.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -43,6 +46,8 @@ usage(const char *argv0)
             "  --bitflip-rate R  flip one bit of read payloads at rate R\n"
             "  --fault-seed S    seed for the fault schedule\n"
             "  --slow-dev D      make device D 8x slower (fail-slow)\n"
+            "  --trace-on-failure DIR  dump each failing point's\n"
+            "                    pre-cut Chrome trace to DIR\n"
             "  --smoke           bounded exhaustive+sweep for ctest\n",
             argv0);
     return 2;
@@ -112,6 +117,7 @@ main(int argc, char **argv)
     double err_rate = 0.0, bitflip_rate = 0.0;
     uint64_t fault_seed = 0;
     int slow_dev = -1;
+    std::string trace_dir;
 
     int i = 1;
     if (i < argc && argv[i][0] != '-')
@@ -151,6 +157,10 @@ main(int argc, char **argv)
             fault_seed = strtoull(next(), nullptr, 0);
         } else if (a == "--slow-dev") {
             slow_dev = static_cast<int>(strtol(next(), nullptr, 0));
+        } else if (a == "--trace-on-failure") {
+            trace_dir = next();
+            if (trace_dir.empty())
+                return usage(argv[0]);
         } else if (a == "--smoke") {
             smoke = true;
         } else {
@@ -187,6 +197,14 @@ main(int argc, char **argv)
     if (fault_seed)
         opts.faults.seed = fault_seed;
     opts.fail_slow_dev = slow_dev;
+    if (!trace_dir.empty()) {
+        if (mkdir(trace_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+            fprintf(stderr, "cannot create %s: %s\n", trace_dir.c_str(),
+                    strerror(errno));
+            return 2;
+        }
+        opts.trace_dir = trace_dir;
+    }
 
     std::string repro = " --workload " + wl_spec + " --policy " + policy;
     if (fault != raizn::RaiznVolume::DebugFault::kNone)

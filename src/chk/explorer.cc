@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/trace.h"
 #include "sim/event_loop.h"
 
 namespace raizn::chk {
@@ -259,6 +260,8 @@ CrashPointExplorer::drive(Array &arr, ShadowVolume &shadow,
     }
     arr.vol = std::move(created).value();
     arr.vol->set_debug_fault(opts_.fault);
+    if (run_trace_ != nullptr)
+        arr.vol->attach_observability(nullptr, run_trace_);
     if (inject) {
         RaiznVolume::ResilienceConfig rcfg;
         if (opts_.faults.stuck_rate > 0 || opts_.fail_slow_dev >= 0) {
@@ -337,8 +340,38 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
     Array arr;
     uint64_t completions = 0, hash = 0;
     rep->runs++;
-    if (!drive(arr, shadow, crash_at, &completions, &hash, nullptr, rep))
+
+    // Record stage spans for this run when trace_dir is set; a failure
+    // below dumps the pre-cut trace for triage. Spans still open at
+    // the cut never entered the ring, so the dump shows exactly what
+    // had completed when power was lost.
+    std::unique_ptr<obs::TraceRecorder> trace;
+    size_t fails_before = rep->failures.size();
+    if (!opts_.trace_dir.empty()) {
+        trace = std::make_unique<obs::TraceRecorder>(1u << 15);
+        run_trace_ = trace.get();
+    }
+    auto dump_trace = [&] {
+        run_trace_ = nullptr;
+        if (!trace || rep->failures.size() == fails_before)
+            return;
+        std::string path = opts_.trace_dir +
+            strprintf("/trace_point_%llu.json",
+                      (unsigned long long)crash_at);
+        Status s = trace->write_chrome_json(path, cfg_.num_devices);
+        if (s.is_ok())
+            LOG_INFO("chk: wrote pre-cut trace %s (%zu spans)",
+                     path.c_str(), trace->size());
+        else
+            LOG_ERROR("chk: trace dump failed: %s",
+                      s.to_string().c_str());
+    };
+
+    if (!drive(arr, shadow, crash_at, &completions, &hash, nullptr,
+               rep)) {
+        dump_trace();
         return;
+    }
 
     if (opts_.verify_replay && counted_ &&
         completions < ref_hash_.size() &&
@@ -348,6 +381,7 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
              strprintf("schedule diverged from reference after %llu "
                        "completions",
                        (unsigned long long)completions)});
+        dump_trace();
         return;
     }
 
@@ -375,6 +409,7 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
     if (!mounted.is_ok()) {
         rep->failures.push_back(
             {crash_at, "mount", mounted.status().to_string()});
+        dump_trace();
         return;
     }
     arr.vol = std::move(mounted).value();
@@ -386,6 +421,7 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
         : -1;
     check_invariants(*arr.loop, *arr.vol, arr.zns_ptrs(), shadow,
                      pre_gens, oo, crash_at, &rep->failures);
+    dump_trace();
 }
 
 ChkReport

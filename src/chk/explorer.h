@@ -25,6 +25,12 @@
 #include "raizn/volume.h"
 #include "zns/zns_device.h"
 
+namespace raizn {
+namespace obs {
+class TraceRecorder;
+} // namespace obs
+} // namespace raizn
+
 namespace raizn::chk {
 
 /// Array shape for exploration runs (small: runs are O(boundaries^2)).
@@ -60,6 +66,11 @@ struct ChkOptions {
     /// Device index given `fail_slow_mult`x latency (-1: none).
     int fail_slow_dev = -1;
     double fail_slow_mult = 8.0;
+    /// When non-empty, every failing crash point dumps the pre-cut
+    /// stage trace of its run (obs/trace.h Chrome JSON) to
+    /// `<trace_dir>/trace_point_<N>.json`. Purely observational: the
+    /// recorder never alters scheduling, so replay hashes still match.
+    std::string trace_dir;
 };
 
 struct ChkReport {
@@ -103,6 +114,9 @@ class CrashPointExplorer
     ChkConfig cfg_;
     ChkWorkload wl_;
     ChkOptions opts_;
+    /// Per-run recorder when opts_.trace_dir is set; drive() attaches
+    /// it to the volume for the workload (pre-cut) phase.
+    obs::TraceRecorder *run_trace_ = nullptr;
     bool counted_ = false;
     uint64_t boundaries_ = 0;
     std::vector<uint64_t> ref_hash_; ///< cumulative hash after n events

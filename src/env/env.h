@@ -54,6 +54,20 @@ struct EnvStats {
     uint64_t bytes_read = 0;
     uint64_t gc_relocated_bytes = 0; ///< zoned env cleaning traffic
     uint64_t zones_reclaimed = 0;
+
+    /// Name/value enumeration — single source of truth for metrics-
+    /// registry linkage (obs::link_stats) and rendering.
+    template <typename Fn>
+    void
+    for_each_field(Fn fn) const
+    {
+        fn("files_created", files_created);
+        fn("files_deleted", files_deleted);
+        fn("bytes_appended", bytes_appended);
+        fn("bytes_read", bytes_read);
+        fn("gc_relocated_bytes", gc_relocated_bytes);
+        fn("zones_reclaimed", zones_reclaimed);
+    }
 };
 
 class Env

@@ -76,6 +76,21 @@ struct FaultStats {
     uint64_t torn_writes = 0;
     uint64_t bitflips = 0;
     uint64_t stuck_ios = 0;
+
+    /// Name/value enumeration — single source of truth for metrics-
+    /// registry linkage (obs::link_stats) and rendering.
+    template <typename Fn>
+    void
+    for_each_field(Fn fn) const
+    {
+        fn("ops", ops);
+        fn("read_errors", read_errors);
+        fn("write_errors", write_errors);
+        fn("zone_errors", zone_errors);
+        fn("torn_writes", torn_writes);
+        fn("bitflips", bitflips);
+        fn("stuck_ios", stuck_ios);
+    }
 };
 
 /**

@@ -5,10 +5,43 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "raizn/stripe_buffer.h" // xor_bytes, parity_byte_range
 #include "sim/event_loop.h"
 
 namespace raizn {
+
+std::string
+MdVolumeStats::dump() const
+{
+    return obs::render_stats(*this);
+}
+
+namespace {
+
+/// Fallback span label when the submitter didn't annotate a stage.
+const char *
+default_dev_stage(IoOp op)
+{
+    switch (op) {
+    case IoOp::kRead:
+        return "dev.read";
+    case IoOp::kWrite:
+        return "dev.write";
+    case IoOp::kAppend:
+        return "dev.append";
+    case IoOp::kFlush:
+        return "dev.flush";
+    case IoOp::kZoneReset:
+        return "dev.zone_reset";
+    case IoOp::kZoneFinish:
+        return "dev.zone_finish";
+    }
+    return "dev.io";
+}
+
+} // namespace
 
 struct MdVolume::WriteCtx {
     uint32_t pending = 0;
@@ -16,6 +49,7 @@ struct MdVolume::WriteCtx {
     Status status;
     IoCallback cb;
     uint64_t end_lba = 0;
+    uint64_t req_id = 0; ///< trace correlation id (0 when detached)
 };
 
 MdVolume::MdVolume(EventLoop *loop, std::vector<BlockDevice *> devs,
@@ -55,8 +89,69 @@ MdVolume::set_resilience(const RetryPolicy &retry,
 }
 
 void
+MdVolume::attach_observability(obs::MetricsRegistry *reg,
+                               obs::TraceRecorder *trace)
+{
+    trace_ = trace;
+    dev_obs_.clear();
+    write_lat_ = nullptr;
+    read_lat_ = nullptr;
+    if (reg == nullptr)
+        return;
+    obs::link_stats(*reg, "mdraid", stats_);
+    write_lat_ = reg->latency("mdraid.write.total_ns");
+    read_lat_ = reg->latency("mdraid.read.total_ns");
+    dev_obs_.resize(devs_.size());
+    for (uint32_t d = 0; d < devs_.size(); ++d) {
+        std::string prefix = strprintf("mdraid.dev%u", d);
+        obs::link_stats(*reg, prefix, devs_[d]->stats());
+        dev_obs_[d].read_ns = reg->latency(prefix + ".read_ns");
+        dev_obs_[d].write_ns = reg->latency(prefix + ".write_ns");
+        dev_obs_[d].flush_ns = reg->latency(prefix + ".flush_ns");
+        dev_obs_[d].other_ns = reg->latency(prefix + ".other_ns");
+    }
+}
+
+void
 MdVolume::dev_submit(uint32_t dev, IoRequest req, IoCallback cb)
 {
+    if (trace_ != nullptr || !dev_obs_.empty()) {
+        const char *stage = req.trace_stage != nullptr
+            ? req.trace_stage
+            : default_dev_stage(req.op);
+        uint64_t token = trace_ != nullptr
+            ? trace_->begin_span(stage, req.trace_req,
+                                 obs::kTrackDevBase + dev, loop_->now())
+            : 0;
+        obs::LatencyMetric *lat = nullptr;
+        if (!dev_obs_.empty()) {
+            const DevObs &o = dev_obs_[dev];
+            switch (req.op) {
+            case IoOp::kRead:
+                lat = o.read_ns;
+                break;
+            case IoOp::kWrite:
+            case IoOp::kAppend:
+                lat = o.write_ns;
+                break;
+            case IoOp::kFlush:
+                lat = o.flush_ns;
+                break;
+            default:
+                lat = o.other_ns;
+                break;
+            }
+        }
+        Tick t0 = loop_->now();
+        cb = [this, token, lat, t0, inner = std::move(cb)](IoResult r) {
+            Tick now = loop_->now();
+            if (trace_ != nullptr && token != 0)
+                trace_->end_span(token, now);
+            if (lat != nullptr)
+                lat->record(now - t0);
+            inner(std::move(r));
+        };
+    }
     retrier_->submit(devs_[dev], dev, std::move(req), std::move(cb));
 }
 
@@ -105,7 +200,8 @@ MdVolume::chunk_pba(uint64_t stripe) const
 void
 MdVolume::read_chunk(uint64_t stripe, uint32_t k, uint64_t lo,
                      uint64_t hi,
-                     std::function<void(Status, std::vector<uint8_t>)> cb)
+                     std::function<void(Status, std::vector<uint8_t>)> cb,
+                     const char *trace_stage, uint64_t treq)
 {
     uint32_t dev = data_dev(stripe, k);
     if (static_cast<int>(dev) == failed_dev_ || devs_[dev]->failed()) {
@@ -113,9 +209,11 @@ MdVolume::read_chunk(uint64_t stripe, uint32_t k, uint64_t lo,
                           std::move(cb));
         return;
     }
-    dev_submit(dev,
-               IoRequest::read(chunk_pba(stripe) + lo,
-                               static_cast<uint32_t>(hi - lo)),
+    IoRequest rreq = IoRequest::read(chunk_pba(stripe) + lo,
+                                     static_cast<uint32_t>(hi - lo));
+    rreq.trace_req = treq;
+    rreq.trace_stage = trace_stage;
+    dev_submit(dev, std::move(rreq),
                [this, stripe, k, lo, hi, dev,
                 cb = std::move(cb)](IoResult r) mutable {
                    if (!r.status.is_ok() &&
@@ -212,6 +310,25 @@ MdVolume::read(uint64_t lba, uint32_t nsectors, IoCallback cb)
     stats_.logical_reads++;
     stats_.sectors_read += nsectors;
 
+    uint64_t treq = 0;
+    if (trace_ != nullptr || read_lat_ != nullptr) {
+        uint64_t token = 0;
+        if (trace_ != nullptr) {
+            treq = trace_->next_request_id();
+            token = trace_->begin_span("md.read", treq,
+                                       obs::kTrackRequest, loop_->now());
+        }
+        Tick t0 = loop_->now();
+        cb = [this, token, t0, inner = std::move(cb)](IoResult r) {
+            Tick now = loop_->now();
+            if (trace_ != nullptr && token != 0)
+                trace_->end_span(token, now);
+            if (read_lat_ != nullptr)
+                read_lat_->record(now - t0);
+            inner(std::move(r));
+        };
+    }
+
     struct Ctx {
         uint32_t pending = 0;
         bool issued_all = false;
@@ -255,7 +372,8 @@ MdVolume::read(uint64_t lba, uint32_t nsectors, IoCallback cb)
                            cb2(std::move(r));
                        }
                        (void)this;
-                   });
+                   },
+                   "md.read_chunk", treq);
         cur += len;
     }
     ctx->issued_all = true;
@@ -303,6 +421,24 @@ MdVolume::write_impl(uint64_t lba, std::vector<uint8_t> data,
     auto ctx = std::make_shared<WriteCtx>();
     ctx->cb = std::move(cb);
     ctx->end_lba = lba + nsectors;
+    if (trace_ != nullptr || write_lat_ != nullptr) {
+        uint64_t token = 0;
+        if (trace_ != nullptr) {
+            ctx->req_id = trace_->next_request_id();
+            token = trace_->begin_span("md.write", ctx->req_id,
+                                       obs::kTrackRequest, loop_->now());
+        }
+        Tick t0 = loop_->now();
+        ctx->cb = [this, token, t0,
+                   inner = std::move(ctx->cb)](IoResult r) {
+            Tick now = loop_->now();
+            if (trace_ != nullptr && token != 0)
+                trace_->end_span(token, now);
+            if (write_lat_ != nullptr)
+                write_lat_->record(now - t0);
+            inner(std::move(r));
+        };
+    }
 
     uint64_t cur = lba;
     uint64_t end = lba + nsectors;
@@ -481,7 +617,8 @@ MdVolume::process_stripe_write(uint64_t stripe, uint64_t lo, uint64_t hi,
         read_chunk(stripe, k, in_chunk, in_chunk + (r - s),
                    [one_done, off](Status st, std::vector<uint8_t> d) {
                        one_done(off, st, d);
-                   });
+                   },
+                   "md.rmw_read", ctx->req_id);
         // Mark as valid: the cache image will be refreshed on finish.
         for (uint64_t i = s; i < r; ++i)
             e->valid[i] = true;
@@ -534,6 +671,8 @@ MdVolume::write_chunks(uint64_t stripe, uint64_t lo, uint64_t hi,
                 req.data.assign(p,
                                 p + static_cast<size_t>(len) * kSectorSize);
             }
+            req.trace_req = ctx->req_id;
+            req.trace_stage = "md.chunk_write";
             ctx->pending++;
             dev_submit(dev, std::move(req),
                        [chunk_done, dev](IoResult r) {
@@ -561,6 +700,8 @@ MdVolume::write_chunks(uint64_t stripe, uint64_t lo, uint64_t hi,
                 parity.begin() +
                     static_cast<ptrdiff_t>(phi_s * kSectorSize));
         }
+        req.trace_req = ctx->req_id;
+        req.trace_stage = "md.parity";
         ctx->pending++;
         dev_submit(pdev, std::move(req),
                    [chunk_done, pdev](IoResult r) {

@@ -21,6 +21,12 @@
 
 namespace raizn {
 
+namespace obs {
+class MetricsRegistry;
+class TraceRecorder;
+class LatencyMetric;
+} // namespace obs
+
 class EventLoop;
 
 struct MdVolumeConfig {
@@ -41,6 +47,29 @@ struct MdVolumeStats {
     uint64_t io_retries = 0; ///< transparent transient-error retries
     uint64_t io_timeouts = 0; ///< watchdog deadline expirations
     uint64_t dev_errors = 0; ///< device errors after retry exhaustion
+
+    /// Name/value enumeration — single source of truth for dump() and
+    /// metrics-registry linkage (obs::link_stats).
+    template <typename Fn>
+    void
+    for_each_field(Fn fn) const
+    {
+        fn("logical_reads", logical_reads);
+        fn("logical_writes", logical_writes);
+        fn("sectors_read", sectors_read);
+        fn("sectors_written", sectors_written);
+        fn("rmw_reads", rmw_reads);
+        fn("full_stripe_writes", full_stripe_writes);
+        fn("partial_stripe_writes", partial_stripe_writes);
+        fn("degraded_reads", degraded_reads);
+        fn("resynced_sectors", resynced_sectors);
+        fn("io_retries", io_retries);
+        fn("io_timeouts", io_timeouts);
+        fn("dev_errors", dev_errors);
+    }
+
+    /// One-line "key=value" rendering, same format as VolumeStats.
+    std::string dump() const;
 };
 
 class MdVolume
@@ -83,6 +112,17 @@ class MdVolume
                        std::function<void(uint64_t, uint64_t)> progress,
                        StatusCb done);
 
+    /**
+     * Hooks this volume into the unified observability layer
+     * (src/obs): MdVolumeStats under "mdraid.*", per-device
+     * DeviceStats under "mdraid.dev<i>.*", per-device latency
+     * histograms, and stage spans ("md.write", "md.rmw_read",
+     * "md.chunk_write", "md.parity") on `trace`. Either pointer may
+     * be null; pass nulls to detach.
+     */
+    void attach_observability(obs::MetricsRegistry *reg,
+                              obs::TraceRecorder *trace);
+
     const MdVolumeStats &stats() const { return stats_; }
     const StripeCache &cache() const { return *cache_; }
 
@@ -104,7 +144,8 @@ class MdVolume
                       const std::vector<uint8_t> &parity,
                       std::shared_ptr<WriteCtx> ctx);
     void read_chunk(uint64_t stripe, uint32_t k, uint64_t lo, uint64_t hi,
-                    std::function<void(Status, std::vector<uint8_t>)> cb);
+                    std::function<void(Status, std::vector<uint8_t>)> cb,
+                    const char *trace_stage = nullptr, uint64_t treq = 0);
     void reconstruct_chunk(
         uint64_t stripe, int pos, uint64_t lo, uint64_t hi,
         std::function<void(Status, std::vector<uint8_t>)> cb);
@@ -128,6 +169,19 @@ class MdVolume
     bool store_data_;
     std::unique_ptr<HealthMonitor> health_;
     std::unique_ptr<IoRetrier> retrier_;
+
+    // Observability (src/obs): null when detached. Handles resolved
+    // once in attach_observability — no per-op name lookups.
+    obs::TraceRecorder *trace_ = nullptr;
+    struct DevObs {
+        obs::LatencyMetric *read_ns = nullptr;
+        obs::LatencyMetric *write_ns = nullptr;
+        obs::LatencyMetric *flush_ns = nullptr;
+        obs::LatencyMetric *other_ns = nullptr;
+    };
+    std::vector<DevObs> dev_obs_;
+    obs::LatencyMetric *write_lat_ = nullptr; ///< mdraid.write.total_ns
+    obs::LatencyMetric *read_lat_ = nullptr;  ///< mdraid.read.total_ns
 };
 
 } // namespace raizn

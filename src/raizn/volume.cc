@@ -6,6 +6,8 @@
 
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sim/event_loop.h"
 
 namespace raizn {
@@ -79,8 +81,94 @@ RaiznVolume::set_resilience(const ResilienceConfig &rc)
 }
 
 void
+RaiznVolume::attach_observability(obs::MetricsRegistry *reg,
+                                  obs::TraceRecorder *trace)
+{
+    trace_ = trace;
+    dev_obs_.clear();
+    write_lat_ = nullptr;
+    read_lat_ = nullptr;
+    if (reg == nullptr)
+        return;
+    obs::link_stats(*reg, "raizn", stats_);
+    write_lat_ = reg->latency("raizn.write.total_ns");
+    read_lat_ = reg->latency("raizn.read.total_ns");
+    dev_obs_.resize(devs_.size());
+    for (uint32_t d = 0; d < devs_.size(); ++d) {
+        std::string prefix = strprintf("zns.dev%u", d);
+        obs::link_stats(*reg, prefix, devs_[d]->stats());
+        dev_obs_[d].read_ns = reg->latency(prefix + ".read_ns");
+        dev_obs_[d].write_ns = reg->latency(prefix + ".write_ns");
+        dev_obs_[d].flush_ns = reg->latency(prefix + ".flush_ns");
+        dev_obs_[d].other_ns = reg->latency(prefix + ".other_ns");
+    }
+}
+
+namespace {
+
+/// Fallback span label when the submitter didn't annotate a stage.
+const char *
+default_dev_stage(IoOp op)
+{
+    switch (op) {
+    case IoOp::kRead:
+        return "dev.read";
+    case IoOp::kWrite:
+        return "dev.write";
+    case IoOp::kAppend:
+        return "dev.append";
+    case IoOp::kFlush:
+        return "dev.flush";
+    case IoOp::kZoneReset:
+        return "dev.zone_reset";
+    case IoOp::kZoneFinish:
+        return "dev.zone_finish";
+    }
+    return "dev.io";
+}
+
+} // namespace
+
+void
 RaiznVolume::dev_submit(uint32_t dev, IoRequest req, IoCallback cb)
 {
+    if (trace_ != nullptr || !dev_obs_.empty()) {
+        const char *stage = req.trace_stage != nullptr
+            ? req.trace_stage
+            : default_dev_stage(req.op);
+        uint64_t token = trace_ != nullptr
+            ? trace_->begin_span(stage, req.trace_req,
+                                 obs::kTrackDevBase + dev, loop_->now())
+            : 0;
+        obs::LatencyMetric *lat = nullptr;
+        if (!dev_obs_.empty()) {
+            const DevObs &o = dev_obs_[dev];
+            switch (req.op) {
+            case IoOp::kRead:
+                lat = o.read_ns;
+                break;
+            case IoOp::kWrite:
+            case IoOp::kAppend:
+                lat = o.write_ns;
+                break;
+            case IoOp::kFlush:
+                lat = o.flush_ns;
+                break;
+            default:
+                lat = o.other_ns;
+                break;
+            }
+        }
+        Tick t0 = loop_->now();
+        cb = [this, token, lat, t0, inner = std::move(cb)](IoResult r) {
+            Tick now = loop_->now();
+            if (trace_ != nullptr && token != 0)
+                trace_->end_span(token, now);
+            if (lat != nullptr)
+                lat->record(now - t0);
+            inner(std::move(r));
+        };
+    }
     retrier_->submit(devs_[dev], dev, std::move(req), std::move(cb));
 }
 
@@ -142,34 +230,7 @@ RaiznVolume::crc_range_ok(uint64_t lba, const uint8_t *bytes,
 std::string
 VolumeStats::dump() const
 {
-    std::string s;
-    auto kv = [&s](const char *k, uint64_t v) {
-        s += k;
-        s += '=';
-        s += std::to_string(v);
-        s += ' ';
-    };
-    kv("logical_reads", logical_reads);
-    kv("logical_writes", logical_writes);
-    kv("sectors_read", sectors_read);
-    kv("sectors_written", sectors_written);
-    kv("full_parity_writes", full_parity_writes);
-    kv("partial_parity_logs", partial_parity_logs);
-    kv("relocated_writes", relocated_writes);
-    kv("degraded_reads", degraded_reads);
-    kv("reconstructed_sectors", reconstructed_sectors);
-    kv("zone_resets", zone_resets);
-    kv("flushes", flushes);
-    kv("fua_writes", fua_writes);
-    kv("io_retries", io_retries);
-    kv("io_timeouts", io_timeouts);
-    kv("dev_errors", dev_errors);
-    kv("crc_mismatches", crc_mismatches);
-    kv("read_repairs", read_repairs);
-    kv("scrubbed_stripes", scrubbed_stripes);
-    if (!s.empty())
-        s.pop_back();
-    return s;
+    return obs::render_stats(*this);
 }
 
 IoResult
@@ -406,6 +467,12 @@ RaiznVolume::process_write(uint64_t lba, std::vector<uint8_t> data,
     ctx->zone = zone;
     ctx->end_lba = lba + nsectors;
     ctx->cb = std::move(cb);
+    ctx->start_tick = loop_->now();
+    if (trace_ != nullptr) {
+        ctx->req_id = trace_->next_request_id();
+        ctx->total_token = trace_->begin_span(
+            "raizn.write", ctx->req_id, obs::kTrackRequest, loop_->now());
+    }
 
     const uint64_t ss = layout_->stripe_sectors();
     const uint32_t su = cfg_.su_sectors;
@@ -500,6 +567,8 @@ RaiznVolume::submit_data_subio(uint32_t dev, uint32_t zone, uint64_t pba,
     req.nsectors = nsectors;
     req.fua = fua;
     req.data = std::move(data);
+    req.trace_req = ctx->req_id;
+    req.trace_stage = "write.data";
     dev_submit(dev, std::move(req),
                [this, ctx, dev](IoResult r) {
                    if (!r.status.is_ok() &&
@@ -549,8 +618,16 @@ RaiznVolume::submit_parity_subio(uint32_t zone, uint64_t stripe,
         rel.cached = std::move(parity);
         parity_reloc_[zs_key(zone, stripe)] = std::move(rel);
         app.payload = std::move(payload);
+        uint64_t tok = trace_ != nullptr
+            ? trace_->begin_span("write.parity_reloc", ctx->req_id,
+                                 obs::kTrackMetadata, loop_->now())
+            : 0;
         md_->append(dev, MdZoneRole::kGeneral, std::move(app), false,
-                    [this, ctx](Status s) { subio_done(ctx, s); });
+                    [this, ctx, tok](Status s) {
+                        if (trace_ != nullptr && tok != 0)
+                            trace_->end_span(tok, loop_->now());
+                        subio_done(ctx, s);
+                    });
         stats_.relocated_writes++;
         return;
     }
@@ -563,6 +640,8 @@ RaiznVolume::submit_parity_subio(uint32_t zone, uint64_t stripe,
     req.nsectors = cfg_.su_sectors;
     req.fua = fua;
     req.data = std::move(parity);
+    req.trace_req = ctx->req_id;
+    req.trace_stage = "write.parity";
     dev_submit(dev, std::move(req),
                [this, ctx, dev](IoResult r) {
                    if (!r.status.is_ok() &&
@@ -622,9 +701,17 @@ RaiznVolume::log_partial_parity(uint32_t zone, uint64_t stripe,
     ctx->pending++;
     MdAppend app = make_pp_append(zone, stripe, start_lba, end_lba,
                                   lo_sector, std::move(delta));
+    uint64_t tok = trace_ != nullptr
+        ? trace_->begin_span("write.pp_log", ctx->req_id,
+                             obs::kTrackMetadata, loop_->now())
+        : 0;
     md_->append(dev, MdZoneRole::kParityLog, std::move(app),
                 /*durable=*/ctx->flags.fua,
-                [this, ctx](Status s) { subio_done(ctx, s); });
+                [this, ctx, tok](Status s) {
+                    if (trace_ != nullptr && tok != 0)
+                        trace_->end_span(tok, loop_->now());
+                    subio_done(ctx, s);
+                });
 }
 
 void
@@ -657,9 +744,17 @@ RaiznVolume::relocate_write(uint32_t dev, uint32_t zone, uint64_t lba,
     rel.cached = std::move(data); // relocations are cached (§5.2)
     reloc_.insert(std::move(rel));
 
+    uint64_t tok = trace_ != nullptr
+        ? trace_->begin_span("write.reloc", ctx->req_id,
+                             obs::kTrackMetadata, loop_->now())
+        : 0;
     md_->append(dev, MdZoneRole::kGeneral, std::move(app),
                 /*durable=*/ctx->flags.fua,
-                [this, ctx](Status s) { subio_done(ctx, s); });
+                [this, ctx, tok](Status s) {
+                    if (trace_ != nullptr && tok != 0)
+                        trace_->end_span(tok, loop_->now());
+                    subio_done(ctx, s);
+                });
 }
 
 void
@@ -684,6 +779,12 @@ RaiznVolume::finish_write(std::shared_ptr<WriteCtx> ctx)
             zones_[ctx->zone].pbm.mark_persisted_upto(
                 ctx->end_lba - zones_[ctx->zone].start);
         }
+        if (trace_ != nullptr && ctx->total_token != 0) {
+            trace_->end_span(ctx->total_token, loop_->now());
+            ctx->total_token = 0;
+        }
+        if (write_lat_ != nullptr)
+            write_lat_->record(loop_->now() - ctx->start_tick);
         auto cb = std::move(ctx->cb);
         cb(std::move(r));
         return;
@@ -725,7 +826,10 @@ RaiznVolume::start_fua_flush_phase(std::shared_ptr<WriteCtx> ctx)
         }
         ctx->pending++;
         stats_.fua_dependency_flushes++;
-        dev_submit(d, IoRequest::flush(),
+        IoRequest freq = IoRequest::flush();
+        freq.trace_req = ctx->req_id;
+        freq.trace_stage = "write.fua_flush";
+        dev_submit(d, std::move(freq),
                    [this, ctx, d](IoResult r) {
                        if (!r.status.is_ok() &&
                            escalate_dev_error(d, r.status)) {
@@ -1066,15 +1170,34 @@ RaiznVolume::read(uint64_t lba, uint32_t nsectors, IoCallback cb)
     }
     stats_.logical_reads++;
     stats_.sectors_read += nsectors;
+    uint64_t treq = 0;
+    if (trace_ != nullptr || read_lat_ != nullptr) {
+        uint64_t token = 0;
+        if (trace_ != nullptr) {
+            treq = trace_->next_request_id();
+            token = trace_->begin_span("raizn.read", treq,
+                                       obs::kTrackRequest, loop_->now());
+        }
+        Tick t0 = loop_->now();
+        cb = [this, token, t0, inner = std::move(cb)](IoResult r) {
+            Tick now = loop_->now();
+            if (trace_ != nullptr && token != 0)
+                trace_->end_span(token, now);
+            if (read_lat_ != nullptr)
+                read_lat_->record(now - t0);
+            inner(std::move(r));
+        };
+    }
     if (failed_dev_ >= 0 || lz.has_reloc) {
-        read_slow(lba, nsectors, std::move(cb));
+        read_slow(lba, nsectors, treq, std::move(cb));
     } else {
-        read_fast(lba, nsectors, std::move(cb));
+        read_fast(lba, nsectors, treq, std::move(cb));
     }
 }
 
 void
-RaiznVolume::read_fast(uint64_t lba, uint32_t nsectors, IoCallback cb)
+RaiznVolume::read_fast(uint64_t lba, uint32_t nsectors, uint64_t treq,
+                       IoCallback cb)
 {
     auto extents = layout_->map_range(lba, nsectors);
     struct ReadCtx {
@@ -1112,8 +1235,11 @@ RaiznVolume::read_fast(uint64_t lba, uint32_t nsectors, IoCallback cb)
     };
     for (const auto &ext : extents) {
         ctx->pending++;
+        IoRequest rreq = IoRequest::read(ext.pba, ext.nsectors);
+        rreq.trace_req = treq;
+        rreq.trace_stage = "read.data";
         dev_submit(
-            ext.dev, IoRequest::read(ext.pba, ext.nsectors),
+            ext.dev, std::move(rreq),
             [this, ctx, ext, complete_one](IoResult r) {
                 if (!r.status.is_ok()) {
                     // Retries exhausted or device died under us: if the
@@ -1159,7 +1285,8 @@ RaiznVolume::read_fast(uint64_t lba, uint32_t nsectors, IoCallback cb)
 }
 
 void
-RaiznVolume::read_slow(uint64_t lba, uint32_t nsectors, IoCallback cb)
+RaiznVolume::read_slow(uint64_t lba, uint32_t nsectors, uint64_t treq,
+                       IoCallback cb)
 {
     auto extents = layout_->map_range(lba, nsectors);
     struct ReadCtx {
@@ -1237,9 +1364,12 @@ RaiznVolume::read_slow(uint64_t lba, uint32_t nsectors, IoCallback cb)
                 } else if (static_cast<int>(rel->dev) != failed_dev_ &&
                            !devs_[rel->dev]->failed()) {
                     uint64_t at = cur;
+                    IoRequest rreq =
+                        IoRequest::read(rel->md_pba + off_in_rel, run_len);
+                    rreq.trace_req = treq;
+                    rreq.trace_stage = "read.reloc";
                     dev_submit(
-                        rel->dev,
-                        IoRequest::read(rel->md_pba + off_in_rel, run_len),
+                        rel->dev, std::move(rreq),
                         [this, complete_one, at,
                          rdev = rel->dev](IoResult r) {
                             if (!r.status.is_ok())
@@ -1267,8 +1397,11 @@ RaiznVolume::read_slow(uint64_t lba, uint32_t nsectors, IoCallback cb)
                     });
             } else {
                 uint64_t at = cur;
+                IoRequest rreq = IoRequest::read(sub.pba, sub.nsectors);
+                rreq.trace_req = treq;
+                rreq.trace_stage = "read.data";
                 dev_submit(
-                    sub.dev, IoRequest::read(sub.pba, sub.nsectors),
+                    sub.dev, std::move(rreq),
                     [this, complete_one, at, sub](IoResult r) {
                         if (!r.status.is_ok()) {
                             if (escalate_dev_error(sub.dev, r.status)) {
@@ -1454,7 +1587,9 @@ RaiznVolume::reconstruct_stripe_unit(
         } else if (static_cast<int>(dev) != failed_dev_ &&
                    !devs_[dev]->failed()) {
             uint64_t pba = layout_->slot_pba(zone, stripe) + lo;
-            dev_submit(dev, IoRequest::read(pba, len),
+            IoRequest rreq = IoRequest::read(pba, len);
+            rreq.trace_stage = "read.reconstruct";
+            dev_submit(dev, std::move(rreq),
                        [this, one_done, dev](IoResult r) {
                            if (!r.status.is_ok())
                                escalate_dev_error(dev, r.status);

@@ -34,6 +34,12 @@
 
 namespace raizn {
 
+namespace obs {
+class MetricsRegistry;
+class TraceRecorder;
+class LatencyMetric;
+} // namespace obs
+
 class EventLoop;
 
 struct WriteFlags {
@@ -71,6 +77,44 @@ struct VolumeStats {
     uint64_t crc_mismatches = 0; ///< reads failing checksum validation
     uint64_t read_repairs = 0; ///< units/parity repaired from redundancy
     uint64_t scrubbed_stripes = 0; ///< stripes verified by the scrubber
+
+    /**
+     * Enumerates every counter as (name, field). Single source of
+     * truth for the names: dump() and the metrics-registry linkage
+     * (obs::link_stats) both iterate this list.
+     */
+    template <typename Fn>
+    void
+    for_each_field(Fn fn) const
+    {
+        fn("logical_reads", logical_reads);
+        fn("logical_writes", logical_writes);
+        fn("sectors_read", sectors_read);
+        fn("sectors_written", sectors_written);
+        fn("full_parity_writes", full_parity_writes);
+        fn("partial_parity_logs", partial_parity_logs);
+        fn("partial_parity_sectors", partial_parity_sectors);
+        fn("relocated_writes", relocated_writes);
+        fn("degraded_reads", degraded_reads);
+        fn("reconstructed_sectors", reconstructed_sectors);
+        fn("zone_resets", zone_resets);
+        fn("flushes", flushes);
+        fn("fua_writes", fua_writes);
+        fn("fua_dependency_flushes", fua_dependency_flushes);
+        fn("holes_repaired_in_place", holes_repaired_in_place);
+        fn("holes_remapped", holes_remapped);
+        fn("partial_zone_resets_completed", partial_zone_resets_completed);
+        fn("stripe_buffer_recycles", stripe_buffer_recycles);
+        fn("zones_rebuilt", zones_rebuilt);
+        fn("stripes_rebuilt", stripes_rebuilt);
+        fn("phys_zone_rebuilds", phys_zone_rebuilds);
+        fn("io_retries", io_retries);
+        fn("io_timeouts", io_timeouts);
+        fn("dev_errors", dev_errors);
+        fn("crc_mismatches", crc_mismatches);
+        fn("read_repairs", read_repairs);
+        fn("scrubbed_stripes", scrubbed_stripes);
+    }
 
     /// One-line "key=value" rendering of every counter, for benches.
     std::string dump() const;
@@ -191,6 +235,21 @@ class RaiznVolume
      */
     void rebuild_device(uint32_t dev, ProgressCb progress, StatusCb done);
 
+    // ---- Observability ---------------------------------------------
+    /**
+     * Hooks this volume into the unified observability layer
+     * (src/obs). `reg` gets every VolumeStats counter linked under
+     * "raizn.*", per-device DeviceStats under "zns.dev<i>.*", and
+     * per-device latency histograms ("zns.dev<i>.write_ns", ...).
+     * `trace` receives stage spans for every write/read: the logical
+     * request on track 0, metadata-manager appends on track 1, device
+     * commands on track 2+i. Either pointer may be null; pass nulls to
+     * detach. Purely observational — no timing or scheduling changes.
+     */
+    void attach_observability(obs::MetricsRegistry *reg,
+                              obs::TraceRecorder *trace);
+    obs::TraceRecorder *trace_recorder() const { return trace_; }
+
     // ---- Introspection ---------------------------------------------
     const VolumeStats &stats() const { return stats_; }
     const GenCounterTable &gen_counters() const { return gen_; }
@@ -266,9 +325,12 @@ class RaiznVolume
     void drain_waiters(uint32_t zone);
     void persist_gen_block(uint32_t block);
 
-    // read path (volume.cc)
-    void read_fast(uint64_t lba, uint32_t nsectors, IoCallback cb);
-    void read_slow(uint64_t lba, uint32_t nsectors, IoCallback cb);
+    // read path (volume.cc); `treq` is the trace correlation id
+    // (0 when tracing is detached).
+    void read_fast(uint64_t lba, uint32_t nsectors, uint64_t treq,
+                   IoCallback cb);
+    void read_slow(uint64_t lba, uint32_t nsectors, uint64_t treq,
+                   IoCallback cb);
     void read_extent_degraded(const PhysExtent &ext,
                               std::function<void(Status,
                                                  std::vector<uint8_t>)> cb);
@@ -372,6 +434,20 @@ class RaiznVolume
     // Resilience layer.
     std::unique_ptr<HealthMonitor> health_;
     std::unique_ptr<IoRetrier> retrier_;
+
+    // Observability (src/obs): null when detached. Latency handles are
+    // resolved once in attach_observability, so the hot path never
+    // performs a name lookup.
+    obs::TraceRecorder *trace_ = nullptr;
+    struct DevObs {
+        obs::LatencyMetric *read_ns = nullptr;
+        obs::LatencyMetric *write_ns = nullptr;
+        obs::LatencyMetric *flush_ns = nullptr;
+        obs::LatencyMetric *other_ns = nullptr;
+    };
+    std::vector<DevObs> dev_obs_;
+    obs::LatencyMetric *write_lat_ = nullptr; ///< raizn.write.total_ns
+    obs::LatencyMetric *read_lat_ = nullptr;  ///< raizn.read.total_ns
 
     // Background scrubber state.
     bool scrub_running_ = false;

@@ -42,6 +42,10 @@ struct RaiznVolume::WriteCtx {
     uint64_t end_lba = 0; ///< logical end of the write
     IoCallback cb;
     bool in_flush_phase = false;
+    // Trace context (zero when tracing is detached).
+    uint64_t req_id = 0;      ///< correlation id for all sub-IO spans
+    uint64_t total_token = 0; ///< open "raizn.write" span
+    Tick start_tick = 0;      ///< process_write entry (total latency)
 };
 
 } // namespace raizn

@@ -61,6 +61,11 @@ struct IoRequest {
     bool fua = false; ///< forced unit access: durable at completion
     bool preflush = false; ///< flush cache before executing this command
     std::vector<uint8_t> data; ///< write payload (nsectors * kSectorSize)
+    // Trace context (obs/trace.h): correlation id of the logical
+    // request this command serves, and a static stage label. Purely
+    // observational — devices never read these.
+    uint64_t trace_req = 0;
+    const char *trace_stage = nullptr;
 
     static IoRequest
     read(uint64_t slba, uint32_t nsectors)
@@ -157,6 +162,24 @@ struct DeviceStats {
     uint64_t gc_page_copies = 0; ///< FTL GC relocations (conventional)
     uint64_t gc_erases = 0;
     uint64_t errors = 0;
+
+    /// Name/value enumeration — single source of truth for metrics-
+    /// registry linkage (obs::link_stats) and rendering.
+    template <typename Fn>
+    void
+    for_each_field(Fn fn) const
+    {
+        fn("reads", reads);
+        fn("writes", writes);
+        fn("appends", appends);
+        fn("flushes", flushes);
+        fn("zone_resets", zone_resets);
+        fn("sectors_read", sectors_read);
+        fn("sectors_written", sectors_written);
+        fn("gc_page_copies", gc_page_copies);
+        fn("gc_erases", gc_erases);
+        fn("errors", errors);
+    }
 };
 
 /**

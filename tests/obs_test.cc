@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Unit tests for the observability layer (src/obs): histogram
+ * percentile edge cases, metrics-registry handle semantics and
+ * external linkage, trace-ring wraparound, Chrome trace JSON shape
+ * (golden file), stage breakdown, and request coverage math.
+ */
+#include <gtest/gtest.h>
+
+#include "common/histogram.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace raizn::obs {
+namespace {
+
+// ---------------------------------------------------------------------
+// Histogram percentile edge cases (the registry exports these, so the
+// corner behaviors are part of the metrics contract).
+
+TEST(HistogramEdge, EmptyIsAllZero)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.mean(), 0.0);
+    EXPECT_EQ(h.percentile(0.0), 0u);
+    EXPECT_EQ(h.p50(), 0u);
+    EXPECT_EQ(h.p999(), 0u);
+}
+
+TEST(HistogramEdge, SingleSampleEveryPercentile)
+{
+    Histogram h;
+    h.add(1000);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 1000u);
+    EXPECT_EQ(h.max(), 1000u);
+    // Log-bucketed: every quantile lands in the sample's bucket, so
+    // the answer is within the bucket's ~1.6% relative error.
+    for (double q : {0.0, 0.5, 0.99, 1.0}) {
+        EXPECT_NEAR(static_cast<double>(h.percentile(q)), 1000.0,
+                    1000.0 * 0.02)
+            << "q=" << q;
+    }
+}
+
+TEST(HistogramEdge, MergeMatchesCombinedStream)
+{
+    Histogram a, b, both;
+    for (uint64_t v = 1; v <= 1000; ++v) {
+        (v % 2 ? a : b).add(v * 100);
+        both.add(v * 100);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), both.count());
+    EXPECT_EQ(a.min(), both.min());
+    EXPECT_EQ(a.max(), both.max());
+    EXPECT_DOUBLE_EQ(a.mean(), both.mean());
+    for (double q : {0.1, 0.5, 0.95, 0.999})
+        EXPECT_EQ(a.percentile(q), both.percentile(q)) << "q=" << q;
+}
+
+TEST(HistogramEdge, MergeIntoEmpty)
+{
+    Histogram a, b;
+    b.add(42);
+    a.merge(b);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_EQ(a.max(), 42u);
+}
+
+// ---------------------------------------------------------------------
+// Registry handle semantics.
+
+TEST(MetricsRegistry, HandlesAreStableAndReused)
+{
+    MetricsRegistry reg;
+    Counter *c1 = reg.counter("raizn.write.count");
+    Counter *c2 = reg.counter("raizn.write.count");
+    EXPECT_EQ(c1, c2) << "same name must return the same handle";
+    EXPECT_EQ(reg.size(), 1u);
+
+    c1->inc();
+    c1->inc(4);
+    EXPECT_EQ(c2->value(), 5u);
+
+    LatencyMetric *l1 = reg.latency("raizn.write.total_ns");
+    LatencyMetric *l2 = reg.latency("raizn.write.total_ns");
+    EXPECT_EQ(l1, l2);
+    EXPECT_EQ(reg.size(), 2u);
+
+    // Handles stay valid as the registry grows (pointer stability).
+    for (int i = 0; i < 100; ++i)
+        reg.counter("filler." + std::to_string(i));
+    c1->inc();
+    EXPECT_EQ(reg.counter("raizn.write.count")->value(), 6u);
+}
+
+TEST(MetricsRegistry, LinkedCounterReadsThrough)
+{
+    MetricsRegistry reg;
+    uint64_t field = 7;
+    reg.link_counter("layer.field", &field);
+    field = 123; // hot path mutates the plain struct field
+    auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 1u);
+    EXPECT_EQ(snap[0].name, "layer.field");
+    EXPECT_EQ(snap[0].value, 123u);
+}
+
+struct TestStats {
+    uint64_t alpha = 1;
+    uint64_t beta = 2;
+
+    template <typename Fn>
+    void
+    for_each_field(Fn fn) const
+    {
+        fn("alpha", alpha);
+        fn("beta", beta);
+    }
+};
+
+TEST(MetricsRegistry, LinkStatsAndRenderShareFieldList)
+{
+    TestStats s;
+    EXPECT_EQ(render_stats(s), "alpha=1 beta=2");
+
+    MetricsRegistry reg;
+    link_stats(reg, "test", s);
+    s.beta = 9;
+    auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 2u);
+    EXPECT_EQ(snap[0].name, "test.alpha");
+    EXPECT_EQ(snap[0].value, 1u);
+    EXPECT_EQ(snap[1].name, "test.beta");
+    EXPECT_EQ(snap[1].value, 9u);
+}
+
+TEST(MetricsRegistry, SnapshotSortedAndJsonShape)
+{
+    MetricsRegistry reg;
+    reg.counter("z.last")->inc(3);
+    reg.counter("a.first")->inc(1);
+    reg.latency("m.lat_ns")->record(5000);
+    auto snap = reg.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].name, "a.first");
+    EXPECT_EQ(snap[1].name, "m.lat_ns");
+    EXPECT_EQ(snap[2].name, "z.last");
+
+    std::string j = reg.to_json();
+    EXPECT_NE(j.find("\"a.first\": 1"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"z.last\": 3"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"m.lat_ns\": {\"count\": 1"), std::string::npos)
+        << j;
+    EXPECT_NE(j.find("\"p99_ns\""), std::string::npos) << j;
+}
+
+TEST(MetricsRegistry, RenderKvEmpty)
+{
+    EXPECT_EQ(render_kv({}), "");
+}
+
+// ---------------------------------------------------------------------
+// Trace ring.
+
+TEST(TraceRecorder, RingWraparoundKeepsNewest)
+{
+    TraceRecorder tr(4);
+    for (uint64_t i = 0; i < 7; ++i)
+        tr.add_span("s", i, kTrackRequest, i * 10, i * 10 + 5);
+    EXPECT_EQ(tr.size(), 4u);
+    EXPECT_EQ(tr.capacity(), 4u);
+    EXPECT_EQ(tr.dropped(), 3u);
+    auto spans = tr.spans();
+    ASSERT_EQ(spans.size(), 4u);
+    // Oldest-first iteration over the surviving window: reqs 3..6.
+    for (size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(spans[i].req, i + 3) << "slot " << i;
+
+    tr.clear();
+    EXPECT_EQ(tr.size(), 0u);
+    EXPECT_EQ(tr.dropped(), 0u);
+}
+
+TEST(TraceRecorder, OpenSpanCutByCrashNeverEntersRing)
+{
+    TraceRecorder tr(16);
+    uint64_t done = tr.begin_span("finished", 1, kTrackRequest, 100);
+    uint64_t cut = tr.begin_span("cut", 1, kTrackDevBase, 150);
+    tr.end_span(done, 200);
+    (void)cut; // never ended: simulated power cut
+    auto spans = tr.spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_STREQ(spans[0].stage, "finished");
+    EXPECT_EQ(spans[0].start, 100u);
+    EXPECT_EQ(spans[0].end, 200u);
+    // Ending an unknown token is a no-op, not a crash.
+    tr.end_span(999999, 300);
+    EXPECT_EQ(tr.size(), 1u);
+}
+
+TEST(TraceRecorder, RequestIdsNeverZero)
+{
+    TraceRecorder tr(4);
+    uint64_t a = tr.next_request_id();
+    uint64_t b = tr.next_request_id();
+    EXPECT_NE(a, 0u);
+    EXPECT_NE(b, 0u);
+    EXPECT_NE(a, b);
+}
+
+// Golden file: the exact Chrome trace_event JSON for a tiny recorder.
+// Catches accidental format drift — chrome://tracing and Perfetto both
+// parse this shape.
+TEST(TraceRecorder, ChromeJsonGolden)
+{
+    TraceRecorder tr(8);
+    tr.add_span("raizn.write", 1, kTrackRequest, 1000, 3500);
+    tr.add_span("write.data", 1, kTrackDevBase, 1500, 2500);
+    tr.instant("power_cut", 0, kTrackMetadata, 4000);
+    const char *want =
+        "{\"traceEvents\":[\n"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+        "\"args\":{\"name\":\"requests\"}},\n"
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,"
+        "\"tid\":0,\"args\":{\"sort_index\":0}},\n"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+        "\"args\":{\"name\":\"metadata\"}},\n"
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,"
+        "\"tid\":1,\"args\":{\"sort_index\":1}},\n"
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
+        "\"args\":{\"name\":\"dev0\"}},\n"
+        "{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,"
+        "\"tid\":2,\"args\":{\"sort_index\":2}},\n"
+        "{\"name\":\"raizn.write\",\"ph\":\"X\",\"pid\":1,\"tid\":0,"
+        "\"ts\":1.000,\"dur\":2.500,\"args\":{\"req\":1}},\n"
+        "{\"name\":\"write.data\",\"ph\":\"X\",\"pid\":1,\"tid\":2,"
+        "\"ts\":1.500,\"dur\":1.000,\"args\":{\"req\":1}},\n"
+        "{\"name\":\"power_cut\",\"ph\":\"i\",\"pid\":1,\"tid\":1,"
+        "\"ts\":4.000,\"s\":\"t\",\"args\":{\"req\":0}}\n"
+        "],\"displayTimeUnit\":\"ns\"}\n";
+    EXPECT_EQ(tr.to_chrome_json(/*num_devices=*/1), want);
+}
+
+TEST(TraceRecorder, StageBreakdownSortsByTotalAndNotesDrops)
+{
+    TraceRecorder tr(4);
+    tr.add_span("small", 1, kTrackRequest, 0, 1000);
+    tr.add_span("big", 1, kTrackRequest, 0, 100000);
+    tr.add_span("big", 2, kTrackRequest, 0, 100000);
+    std::string bd = tr.stage_breakdown();
+    size_t big = bd.find("big"), small = bd.find("small");
+    ASSERT_NE(big, std::string::npos) << bd;
+    ASSERT_NE(small, std::string::npos) << bd;
+    EXPECT_LT(big, small) << "dominant stage must read first:\n" << bd;
+    EXPECT_EQ(bd.find("ring wrapped"), std::string::npos);
+
+    tr.add_span("extra", 3, kTrackRequest, 0, 10);
+    tr.add_span("extra", 3, kTrackRequest, 0, 10); // forces wraparound
+    EXPECT_NE(tr.stage_breakdown().find("ring wrapped"),
+              std::string::npos);
+}
+
+TEST(TraceRecorder, RequestCoverageUnionsOverlaps)
+{
+    TraceRecorder tr(16);
+    tr.add_span("total", 7, kTrackRequest, 0, 100);
+    // Overlapping children [0,60) and [30,80): union covers 80/100.
+    tr.add_span("child_a", 7, kTrackDevBase, 0, 60);
+    tr.add_span("child_b", 7, kTrackDevBase + 1, 30, 80);
+    // A different request's spans must not count.
+    tr.add_span("child_a", 8, kTrackDevBase, 0, 100);
+    EXPECT_DOUBLE_EQ(tr.request_coverage(7, "total"), 0.8);
+    // Unknown request or missing total span: 0.
+    EXPECT_DOUBLE_EQ(tr.request_coverage(99, "total"), 0.0);
+    EXPECT_DOUBLE_EQ(tr.request_coverage(8, "total"), 0.0);
+}
+
+TEST(TraceRecorder, RequestCoverageClampsToWindow)
+{
+    TraceRecorder tr(16);
+    tr.add_span("total", 1, kTrackRequest, 100, 200);
+    // Child exceeds the window on both sides; only [100,200) counts.
+    tr.add_span("child", 1, kTrackDevBase, 50, 400);
+    EXPECT_DOUBLE_EQ(tr.request_coverage(1, "total"), 1.0);
+}
+
+} // namespace
+} // namespace raizn::obs
