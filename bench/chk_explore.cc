@@ -48,6 +48,11 @@ usage(const char *argv0)
             "  --slow-dev D      make device D 8x slower (fail-slow)\n"
             "  --trace-on-failure DIR  dump each failing point's\n"
             "                    pre-cut Chrome trace to DIR\n"
+            "  --phase workload|rebuild[:dev]\n"
+            "                    rebuild: run the workload, fail :dev\n"
+            "                    (default 1), cut power during the\n"
+            "                    in-flight rebuild, resume after mount\n"
+            "  --rebuild-rate R  throttle the rebuild to R sectors/s\n"
             "  --smoke           bounded exhaustive+sweep for ctest\n",
             argv0);
     return 2;
@@ -118,6 +123,9 @@ main(int argc, char **argv)
     uint64_t fault_seed = 0;
     int slow_dev = -1;
     std::string trace_dir;
+    auto phase = ChkOptions::Phase::kWorkload;
+    uint32_t rebuild_dev = 1;
+    uint64_t rebuild_rate = 0;
 
     int i = 1;
     if (i < argc && argv[i][0] != '-')
@@ -161,6 +169,21 @@ main(int argc, char **argv)
             trace_dir = next();
             if (trace_dir.empty())
                 return usage(argv[0]);
+        } else if (a == "--phase") {
+            std::string p = next();
+            if (p == "workload") {
+                phase = ChkOptions::Phase::kWorkload;
+            } else if (p.rfind("rebuild", 0) == 0) {
+                phase = ChkOptions::Phase::kRebuild;
+                if (p.size() > 8 && p[7] == ':') {
+                    rebuild_dev = static_cast<uint32_t>(
+                        strtoul(p.c_str() + 8, nullptr, 0));
+                }
+            } else {
+                return usage(argv[0]);
+            }
+        } else if (a == "--rebuild-rate") {
+            rebuild_rate = strtoull(next(), nullptr, 0);
         } else if (a == "--smoke") {
             smoke = true;
         } else {
@@ -197,6 +220,9 @@ main(int argc, char **argv)
     if (fault_seed)
         opts.faults.seed = fault_seed;
     opts.fail_slow_dev = slow_dev;
+    opts.phase = phase;
+    opts.rebuild_dev = rebuild_dev;
+    opts.rebuild_rate = rebuild_rate;
     if (!trace_dir.empty()) {
         if (mkdir(trace_dir.c_str(), 0755) != 0 && errno != EEXIST) {
             fprintf(stderr, "cannot create %s: %s\n", trace_dir.c_str(),
@@ -232,9 +258,43 @@ main(int argc, char **argv)
         snprintf(buf, sizeof(buf), " --slow-dev %d", slow_dev);
         repro += buf;
     }
+    if (phase == ChkOptions::Phase::kRebuild) {
+        char buf[64];
+        snprintf(buf, sizeof(buf), " --phase rebuild:%u", rebuild_dev);
+        repro += buf;
+    }
+    if (rebuild_rate > 0) {
+        char buf[64];
+        snprintf(buf, sizeof(buf), " --rebuild-rate %llu",
+                 (unsigned long long)rebuild_rate);
+        repro += buf;
+    }
 
     int rc = 0;
-    if (smoke) {
+    if (smoke && phase == ChkOptions::Phase::kRebuild) {
+        // Bounded rebuild-phase budget for ctest: power cut at every
+        // completion of an unthrottled in-flight rebuild, plus a short
+        // throttled sweep so the token-bucket path crosses the cut.
+        std::string base =
+            " --workload canonical --policy " + policy + " --phase rebuild";
+        {
+            CrashPointExplorer ex(cfg, canonical_workload(cfg.geom()),
+                                  opts);
+            ChkReport rep = ex.explore_all();
+            print_report("smoke-rebuild", rep, base);
+            rc |= !rep.ok();
+        }
+        {
+            ChkOptions topts = opts;
+            topts.rebuild_rate = 4096;
+            CrashPointExplorer ex(cfg, canonical_workload(cfg.geom()),
+                                  topts);
+            ChkReport rep = ex.sweep_random(16, seed);
+            print_report("smoke-rebuild-throttled", rep,
+                         base + " --rebuild-rate 4096");
+            rc |= !rep.ok();
+        }
+    } else if (smoke) {
         // Bounded budget for ctest: one exhaustive pass over the small
         // degraded workload plus a short sweep of the canonical one.
         {

@@ -274,18 +274,26 @@ CrashPointExplorer::drive(Array &arr, ShadowVolume &shadow,
 
     // Trace every completion from here on; mkfs is excluded so crash
     // point 0 is "power cut before the workload's first completion".
+    // In the rebuild phase the whole workload is excluded too: tracing
+    // (and the crash point count) starts with the rebuild's first IO.
     uint64_t hash = kFnvBasis;
     if (hash_prefix)
         hash_prefix->assign(1, hash);
-    for (uint32_t d = 0; d < cfg_.num_devices; ++d) {
-        arr.devs[d]->set_trace(
-            [d, completions, &hash, hash_prefix](const ZnsTraceEvent &ev) {
-                (*completions)++;
-                hash = hash_event(hash, d, ev);
-                if (hash_prefix)
-                    hash_prefix->push_back(hash);
-            });
-    }
+    auto install_traces = [&] {
+        for (uint32_t d = 0; d < cfg_.num_devices; ++d) {
+            arr.devs[d]->set_trace(
+                [d, completions, &hash,
+                 hash_prefix](const ZnsTraceEvent &ev) {
+                    (*completions)++;
+                    hash = hash_event(hash, d, ev);
+                    if (hash_prefix)
+                        hash_prefix->push_back(hash);
+                });
+        }
+    };
+    bool rebuild_phase = opts_.phase == ChkOptions::Phase::kRebuild;
+    if (!rebuild_phase)
+        install_traces();
 
     Driver drv;
     drv.wl = &wl_;
@@ -293,19 +301,63 @@ CrashPointExplorer::drive(Array &arr, ShadowVolume &shadow,
     drv.loop = arr.loop.get();
     drv.shadow = &shadow;
     drv.issue();
-    arr.loop->run_until_pred(
-        [&] { return *completions >= crash_at || drv.done; });
-    if (!drv.op_error && *completions < crash_at) {
-        // Workload acked; drain straggler completions (metadata
-        // appends issued without waiting) up to the crash point.
+    if (!rebuild_phase) {
         arr.loop->run_until_pred(
-            [&] { return *completions >= crash_at; });
+            [&] { return *completions >= crash_at || drv.done; });
+        if (!drv.op_error && *completions < crash_at) {
+            // Workload acked; drain straggler completions (metadata
+            // appends issued without waiting) up to the crash point.
+            arr.loop->run_until_pred(
+                [&] { return *completions >= crash_at; });
+        }
+    } else {
+        arr.loop->run_until_pred([&] { return drv.done; });
+        if (!drv.op_error) {
+            // Quiesce stragglers so the traced window holds rebuild IO
+            // only, then fail the target and rebuild onto a blank swap.
+            arr.loop->run();
+            uint32_t target = opts_.rebuild_dev % cfg_.num_devices;
+            if (arr.vol->failed_device() >= 0 &&
+                arr.vol->failed_device() != static_cast<int>(target)) {
+                rep->failures.push_back(
+                    {crash_at, "setup",
+                     "rebuild phase needs a workload that leaves the "
+                     "array healthy"});
+                return false;
+            }
+            arr.vol->mark_device_failed(target);
+            arr.devs[target]->replace();
+            if (opts_.rebuild_rate > 0) {
+                RaiznVolume::LifecycleConfig lc;
+                lc.throttle.rate_sectors_per_sec = opts_.rebuild_rate;
+                arr.vol->set_lifecycle(lc);
+            }
+            install_traces();
+            bool rb_done = false;
+            Status rb_st;
+            arr.vol->rebuild_device(target, nullptr, [&](Status s) {
+                rb_st = s;
+                rb_done = true;
+            });
+            arr.loop->run_until_pred(
+                [&] { return *completions >= crash_at || rb_done; });
+            if (rb_done && !rb_st.is_ok()) {
+                rep->failures.push_back(
+                    {crash_at, "rebuild", rb_st.to_string()});
+                drv.op_error = true;
+            } else if (rb_done && *completions < crash_at) {
+                // Drain the trailing completion-checkpoint appends.
+                arr.loop->run_until_pred(
+                    [&] { return *completions >= crash_at; });
+            }
+        }
     }
     *final_hash = hash;
     for (uint32_t d = 0; d < cfg_.num_devices; ++d)
         arr.devs[d]->set_trace(nullptr);
     if (drv.op_error) {
-        rep->failures.push_back({crash_at, "workload", drv.detail});
+        if (!drv.detail.empty())
+            rep->failures.push_back({crash_at, "workload", drv.detail});
         return false;
     }
     return true;
@@ -413,6 +465,67 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
         return;
     }
     arr.vol = std::move(mounted).value();
+
+    if (opts_.phase == ChkOptions::Phase::kRebuild) {
+        // Drive the interrupted rebuild to completion: resume from the
+        // persisted checkpoint when one survived the cut, restart from
+        // scratch when the cut landed before checkpoint #0 was durable
+        // (mount then flags the blank replacement as the absent
+        // device). Either way the oracle judges a healed array.
+        bool resumed = arr.vol->has_pending_rebuild();
+        Status rb_st;
+        bool rb_done = true;
+        if (resumed) {
+            rb_done = false;
+            arr.vol->resume_rebuild(nullptr, [&](Status s) {
+                rb_st = s;
+                rb_done = true;
+            });
+        } else if (arr.vol->failed_device() >= 0) {
+            rb_done = false;
+            arr.vol->rebuild_device(
+                static_cast<uint32_t>(arr.vol->failed_device()), nullptr,
+                [&](Status s) {
+                    rb_st = s;
+                    rb_done = true;
+                });
+        }
+        arr.loop->run_until_pred([&] { return rb_done; });
+        if (!rb_st.is_ok()) {
+            rep->failures.push_back({crash_at,
+                                     resumed ? "rebuild-resume"
+                                             : "rebuild-restart",
+                                     rb_st.to_string()});
+            dump_trace();
+            return;
+        }
+        if (arr.vol->failed_device() >= 0) {
+            rep->failures.push_back(
+                {crash_at, "rebuild-resume",
+                 "volume still degraded after post-crash rebuild"});
+            dump_trace();
+            return;
+        }
+        // Late cut points must have at least one durably checkpointed
+        // zone to skip on resume — otherwise the checkpoint record is
+        // not actually saving re-rebuild work (zone cursor stuck at 0).
+        uint64_t total_zones = arr.vol->stats().zones_rebuilt +
+            arr.vol->stats().rebuild_zones_resumed;
+        if (resumed && counted_ && total_zones >= 2 &&
+            crash_at >= boundaries_ - boundaries_ / 4 &&
+            arr.vol->stats().rebuild_zones_resumed == 0) {
+            rep->failures.push_back(
+                {crash_at, "rebuild-checkpoint",
+                 strprintf("late cut (%llu of %llu completions) "
+                           "resumed zero of %llu zones from the "
+                           "checkpoint",
+                           (unsigned long long)crash_at,
+                           (unsigned long long)boundaries_,
+                           (unsigned long long)total_zones)});
+            dump_trace();
+            return;
+        }
+    }
 
     OracleOptions oo;
     oo.check_parity = opts_.check_parity;

@@ -71,6 +71,20 @@ struct ChkOptions {
     /// `<trace_dir>/trace_point_<N>.json`. Purely observational: the
     /// recorder never alters scheduling, so replay hashes still match.
     std::string trace_dir;
+    /// Crash phase. kWorkload (default) cuts power mid-workload.
+    /// kRebuild runs the whole workload to completion untraced, fails
+    /// `rebuild_dev`, swaps in a blank replacement and starts a
+    /// rebuild; completions are counted — and power is cut — during
+    /// the in-flight rebuild only. After remount, a pending rebuild
+    /// checkpoint is resumed to completion before the oracle runs, and
+    /// late cut points must prove they skipped checkpointed zones.
+    enum class Phase { kWorkload, kRebuild };
+    Phase phase = Phase::kWorkload;
+    /// Device rebuilt in the kRebuild phase (mod num_devices).
+    uint32_t rebuild_dev = 1;
+    /// Rebuild throttle rate in the kRebuild phase (sectors per
+    /// second; 0 leaves the rebuild unthrottled).
+    uint64_t rebuild_rate = 0;
 };
 
 struct ChkReport {

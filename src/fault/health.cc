@@ -5,7 +5,7 @@
 namespace raizn {
 
 HealthMonitor::HealthMonitor(uint32_t num_devices, HealthConfig cfg)
-    : cfg_(cfg), devs_(num_devices)
+    : cfg_(cfg), devs_(num_devices), fired_(num_devices)
 {
 }
 
@@ -22,6 +22,10 @@ HealthMonitor::record_success(uint32_t dev, Tick latency)
         h.ewma_latency_ns =
             cfg_.ewma_alpha * static_cast<double>(latency) +
             (1.0 - cfg_.ewma_alpha) * h.ewma_latency_ns;
+    if (escalate_ && !fired_[dev].fail_slow && fail_slow(dev)) {
+        fired_[dev].fail_slow = true;
+        escalate_(dev, HealthEvent::kFailSlow);
+    }
 }
 
 void
@@ -29,6 +33,7 @@ HealthMonitor::record_error(uint32_t dev)
 {
     devs_[dev].errors++;
     devs_[dev].consec_errors++;
+    maybe_escalate(dev);
 }
 
 void
@@ -36,12 +41,44 @@ HealthMonitor::record_timeout(uint32_t dev)
 {
     devs_[dev].timeouts++;
     devs_[dev].consec_timeouts++;
+    maybe_escalate(dev);
 }
 
 void
 HealthMonitor::record_op_failure(uint32_t dev)
 {
     devs_[dev].op_failures++;
+    maybe_escalate(dev);
+}
+
+bool
+HealthMonitor::suspect(uint32_t dev) const
+{
+    const DeviceHealth &h = devs_[dev];
+    return h.consec_errors >= (cfg_.error_threshold + 1) / 2 ||
+           h.consec_timeouts >= (cfg_.timeout_threshold + 1) / 2;
+}
+
+void
+HealthMonitor::maybe_escalate(uint32_t dev)
+{
+    if (!escalate_)
+        return;
+    if (!fired_[dev].suspect && suspect(dev)) {
+        fired_[dev].suspect = true;
+        escalate_(dev, HealthEvent::kSuspect);
+    }
+    if (!fired_[dev].failed && should_fail(dev)) {
+        fired_[dev].failed = true;
+        escalate_(dev, HealthEvent::kFailed);
+    }
+}
+
+void
+HealthMonitor::reset_device(uint32_t dev)
+{
+    devs_[dev] = DeviceHealth{};
+    fired_[dev] = Fired{};
 }
 
 bool

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "common/units.h"
@@ -42,11 +43,37 @@ struct DeviceHealth {
     uint32_t consec_errors = 0;
     uint32_t consec_timeouts = 0;
     double ewma_latency_ns = 0.0;
+
+    /// Enumerates the 64-bit counters for metrics linkage
+    /// (obs::link_stats) — the field list here is the single source of
+    /// truth for the "raizn.health.dev<i>.*" metric names.
+    template <typename Fn>
+    void
+    for_each_field(Fn &&fn) const
+    {
+        fn("successes", successes);
+        fn("errors", errors);
+        fn("timeouts", timeouts);
+        fn("op_failures", op_failures);
+    }
+};
+
+/// Lifecycle escalation events emitted by the monitor, edge-triggered
+/// (at most once per device per kind until the device is reset).
+enum class HealthEvent : uint32_t {
+    kSuspect = 0, ///< halfway to a failure threshold
+    kFailed = 1, ///< should_fail() now true
+    kFailSlow = 2, ///< latency EWMA far above peers (advisory)
 };
 
 class HealthMonitor
 {
   public:
+    /// Called synchronously from the record_* path when a device
+    /// crosses an escalation edge. Keep it cheap; heavy reactions
+    /// (failover, rebuild kick-off) should defer to the event loop.
+    using EscalationCb = std::function<void(uint32_t dev, HealthEvent ev)>;
+
     explicit HealthMonitor(uint32_t num_devices, HealthConfig cfg = {});
 
     void record_success(uint32_t dev, Tick latency);
@@ -60,12 +87,35 @@ class HealthMonitor
     /// True if `dev` is healthy-but-slow relative to its peers.
     bool fail_slow(uint32_t dev) const;
 
+    void set_escalation(EscalationCb cb) { escalate_ = std::move(cb); }
+
+    /// Clears edge-trigger state (and counters) for `dev`, e.g. after
+    /// a spare is promoted into the slot.
+    void reset_device(uint32_t dev);
+
+    /// True if the advisory fail-slow edge has fired for `dev`.
+    bool fail_slow_flagged(uint32_t dev) const
+    {
+        return dev < fired_.size() && fired_[dev].fail_slow;
+    }
+
     const DeviceHealth &device(uint32_t dev) const { return devs_[dev]; }
     const HealthConfig &config() const { return cfg_; }
 
   private:
+    struct Fired {
+        bool suspect = false;
+        bool failed = false;
+        bool fail_slow = false;
+    };
+
+    bool suspect(uint32_t dev) const;
+    void maybe_escalate(uint32_t dev);
+
     HealthConfig cfg_;
     std::vector<DeviceHealth> devs_;
+    std::vector<Fired> fired_;
+    EscalationCb escalate_;
 };
 
 } // namespace raizn

@@ -71,10 +71,19 @@ MdVolume::MdVolume(EventLoop *loop, std::vector<BlockDevice *> devs,
         store_data_);
     health_ = std::make_unique<HealthMonitor>(
         static_cast<uint32_t>(devs_.size()));
+    health_->set_escalation([this](uint32_t dev, HealthEvent ev) {
+        if (ev == HealthEvent::kFailed)
+            mark_device_failed(dev);
+    });
     retrier_ = std::make_unique<IoRetrier>(loop_, RetryPolicy{},
                                            health_.get(),
                                            &stats_.io_retries,
                                            &stats_.io_timeouts);
+}
+
+MdVolume::~MdVolume()
+{
+    *alive_ = false;
 }
 
 void
@@ -83,6 +92,10 @@ MdVolume::set_resilience(const RetryPolicy &retry,
 {
     health_ = std::make_unique<HealthMonitor>(
         static_cast<uint32_t>(devs_.size()), health);
+    health_->set_escalation([this](uint32_t dev, HealthEvent ev) {
+        if (ev == HealthEvent::kFailed)
+            mark_device_failed(dev);
+    });
     retrier_ = std::make_unique<IoRetrier>(loop_, retry, health_.get(),
                                            &stats_.io_retries,
                                            &stats_.io_timeouts);
@@ -159,8 +172,14 @@ bool
 MdVolume::escalate_dev_error(uint32_t dev, const Status &s)
 {
     stats_.dev_errors++;
-    if (s.code() == StatusCode::kOffline || health_->should_fail(dev))
+    if (s.code() == StatusCode::kOffline) {
+        // Abrupt device death bypasses the retrier's health
+        // accounting; record the terminal failure here too.
+        health_->record_op_failure(dev);
         mark_device_failed(dev);
+    } else if (health_->should_fail(dev)) {
+        mark_device_failed(dev);
+    }
     return failed_dev_ == static_cast<int>(dev);
 }
 
@@ -421,6 +440,18 @@ MdVolume::write_impl(uint64_t lba, std::vector<uint8_t> data,
     auto ctx = std::make_shared<WriteCtx>();
     ctx->cb = std::move(cb);
     ctx->end_lba = lba + nsectors;
+    // Foreground-latency feedback for the adaptive resync throttle.
+    ctx->cb = [this, t0 = loop_->now(),
+               inner = std::move(ctx->cb)](IoResult r) {
+        uint64_t elapsed = loop_->now() - t0;
+        fg_write_ewma_ns_ = fg_write_ewma_ns_ == 0.0
+            ? static_cast<double>(elapsed)
+            : 0.2 * static_cast<double>(elapsed) +
+                0.8 * fg_write_ewma_ns_;
+        if (throttle_ != nullptr && resyncing_)
+            throttle_->observe_foreground_latency(elapsed);
+        inner(std::move(r));
+    };
     if (trace_ != nullptr || write_lat_ != nullptr) {
         uint64_t token = 0;
         if (trace_ != nullptr) {
@@ -746,7 +777,53 @@ MdVolume::mark_device_failed(uint32_t dev)
         failed_dev_ = static_cast<int>(dev);
         if (!devs_[dev]->failed())
             devs_[dev]->fail();
+        maybe_start_auto_resync(dev);
     }
+}
+
+void
+MdVolume::promote_spare(uint32_t dev)
+{
+    devs_[dev] = spare_;
+    spare_ = nullptr;
+    health_->reset_device(dev);
+    stats_.spares_promoted++;
+    LOG_INFO("mdraid: hot spare promoted into slot %u", dev);
+}
+
+void
+MdVolume::maybe_start_auto_resync(uint32_t dev)
+{
+    if (!lifecycle_.auto_resync || spare_ == nullptr ||
+        failed_dev_ != static_cast<int>(dev)) {
+        return;
+    }
+    if (spare_->failed() ||
+        spare_->geometry().nsectors < devs_[dev]->geometry().nsectors) {
+        LOG_ERROR("mdraid: spare unusable for slot %u", dev);
+        return;
+    }
+    stats_.auto_failovers++;
+    // Defer off the error path: mark_device_failed can run deep inside
+    // an IO completion; the promotion + resync kick must not reenter.
+    loop_->schedule_after(1, [this, dev, alive = alive_] {
+        if (!*alive || failed_dev_ != static_cast<int>(dev) ||
+            spare_ == nullptr) {
+            return;
+        }
+        promote_spare(dev);
+        resync_device(dev, nullptr, [this, dev, alive](Status s) {
+            if (!*alive)
+                return;
+            if (!s.is_ok()) {
+                LOG_ERROR("mdraid: automatic resync of slot %u failed: "
+                          "%s",
+                          dev, s.to_string().c_str());
+            }
+            if (lifecycle_.on_resync_done)
+                lifecycle_.on_resync_done(dev, s);
+        });
+    });
 }
 
 } // namespace raizn

@@ -17,6 +17,7 @@
 #include "fault/health.h"
 #include "fault/retry.h"
 #include "mdraid/stripe_cache.h"
+#include "raizn/throttle.h"
 #include "zns/block_device.h"
 
 namespace raizn {
@@ -47,6 +48,10 @@ struct MdVolumeStats {
     uint64_t io_retries = 0; ///< transparent transient-error retries
     uint64_t io_timeouts = 0; ///< watchdog deadline expirations
     uint64_t dev_errors = 0; ///< device errors after retry exhaustion
+    uint64_t auto_failovers = 0; ///< health-driven automatic failovers
+    uint64_t spares_promoted = 0; ///< hot spares swapped into the array
+    uint64_t resync_throttle_stalls = 0; ///< resync IOs delayed by the
+                                         ///< token bucket
 
     /// Name/value enumeration — single source of truth for dump() and
     /// metrics-registry linkage (obs::link_stats).
@@ -66,6 +71,9 @@ struct MdVolumeStats {
         fn("io_retries", io_retries);
         fn("io_timeouts", io_timeouts);
         fn("dev_errors", dev_errors);
+        fn("auto_failovers", auto_failovers);
+        fn("spares_promoted", spares_promoted);
+        fn("resync_throttle_stalls", resync_throttle_stalls);
     }
 
     /// One-line "key=value" rendering, same format as VolumeStats.
@@ -79,6 +87,7 @@ class MdVolume
 
     MdVolume(EventLoop *loop, std::vector<BlockDevice *> devs,
              MdVolumeConfig cfg);
+    ~MdVolume();
 
     uint64_t capacity() const { return capacity_; }
     uint32_t num_devices() const
@@ -102,6 +111,28 @@ class MdVolume
     void set_resilience(const RetryPolicy &retry,
                         const HealthConfig &health = HealthConfig{});
     const HealthMonitor &health() const { return *health_; }
+
+    /**
+     * Failure-lifecycle policy, mirroring RaiznVolume::LifecycleConfig
+     * (Fig. 12 MTTR parity): when a device is marked failed and a hot
+     * spare is configured, the spare is promoted and a full resync
+     * starts automatically, optionally rate-limited by `throttle`.
+     */
+    struct LifecycleConfig {
+        bool auto_resync = true;
+        RebuildThrottleConfig throttle;
+        std::function<void(uint32_t dev, Status s)> on_resync_done;
+    };
+    void set_lifecycle(LifecycleConfig lc) { lifecycle_ = std::move(lc); }
+    const LifecycleConfig &lifecycle() const { return lifecycle_; }
+    /// Registers a standby replacement promoted on the next failure.
+    void set_spare(BlockDevice *spare) { spare_ = spare; }
+    bool has_spare() const { return spare_ != nullptr; }
+    /// Live token bucket while a resync is in flight (else null).
+    const RebuildThrottle *resync_throttle() const
+    {
+        return throttle_.get();
+    }
 
     /**
      * Resyncs a replaced device: reconstructs and rewrites the ENTIRE
@@ -157,6 +188,11 @@ class MdVolume
     /// mark_device_failed when the health evidence warrants it.
     /// Returns true when `dev` is now the failed device.
     bool escalate_dev_error(uint32_t dev, const Status &s);
+    /// Swaps the configured spare into slot `dev`.
+    void promote_spare(uint32_t dev);
+    /// Failover policy: promote the spare and start a background
+    /// resync, deferred off the error path.
+    void maybe_start_auto_resync(uint32_t dev);
 
     EventLoop *loop_;
     std::vector<BlockDevice *> devs_;
@@ -169,6 +205,15 @@ class MdVolume
     bool store_data_;
     std::unique_ptr<HealthMonitor> health_;
     std::unique_ptr<IoRetrier> retrier_;
+
+    // Failure lifecycle (set_lifecycle / set_spare).
+    LifecycleConfig lifecycle_;
+    BlockDevice *spare_ = nullptr;
+    std::unique_ptr<RebuildThrottle> throttle_;
+    bool resyncing_ = false;
+    double fg_write_ewma_ns_ = 0.0;
+    /// Guards deferred lifecycle callbacks against volume destruction.
+    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 
     // Observability (src/obs): null when detached. Handles resolved
     // once in attach_observability — no per-op name lookups.

@@ -27,6 +27,7 @@ struct ResyncJob {
     std::function<void(uint64_t, uint64_t)> progress;
     MdVolume::StatusCb done;
     bool finished = false;
+    bool throttle_armed = false; ///< refill wake-up already scheduled
 
     static constexpr uint64_t kWindow = 32;
 };
@@ -52,12 +53,39 @@ MdVolume::resync_device(uint32_t dev,
     job->progress = std::move(progress);
     job->done = std::move(done);
 
+    // Online resync: a configured rate caps resync traffic so degraded
+    // foreground service keeps its floor (adaptive mode additionally
+    // backs off when the foreground write EWMA rises).
+    throttle_.reset();
+    if (lifecycle_.throttle.rate_sectors_per_sec > 0) {
+        throttle_ =
+            std::make_unique<RebuildThrottle>(loop_, lifecycle_.throttle);
+        throttle_->set_baseline_latency(fg_write_ewma_ns_);
+    }
+    resyncing_ = true;
+
     auto pump = std::make_shared<std::function<void()>>();
     *pump = [this, job, pump]() {
         if (job->finished)
             return;
         while (job->next_issue < job->nchunks &&
                job->inflight < ResyncJob::kWindow) {
+            if (throttle_ != nullptr &&
+                !throttle_->try_acquire(cfg_.chunk_sectors)) {
+                stats_.resync_throttle_stalls++;
+                if (!job->throttle_armed) {
+                    job->throttle_armed = true;
+                    loop_->schedule_after(
+                        throttle_->ns_until(cfg_.chunk_sectors),
+                        [pump, job, alive = alive_] {
+                            if (!*alive)
+                                return;
+                            job->throttle_armed = false;
+                            (*pump)();
+                        });
+                }
+                break;
+            }
             uint64_t stripe = job->next_issue++;
             job->inflight++;
             int pos = data_pos_of_dev(stripe, job->dev);
@@ -97,6 +125,8 @@ MdVolume::resync_device(uint32_t dev,
                             !job->finished) {
                             job->finished = true;
                             failed_dev_ = -1;
+                            resyncing_ = false;
+                            throttle_.reset();
                             auto done = std::move(job->done);
                             done(job->status);
                             // Break the pump's self-reference cycle.

@@ -175,14 +175,17 @@ MdManager::append(uint32_t dev, MdZoneRole role, MdAppend entry,
 {
     assert(dev < devs_.size());
     assert(role == MdZoneRole::kGeneral || role == MdZoneRole::kParityLog);
-    if (devs_[dev]->failed()) {
+    DevState &st = dev_state_[dev];
+    uint32_t role_idx = static_cast<uint32_t>(role);
+    if (devs_[dev]->failed() || st.role_zone[role_idx] < 0) {
         // Metadata on a failed device is moot (§4.3); report success so
-        // degraded writes proceed.
+        // degraded writes proceed. Same for a blank replacement whose
+        // metadata zones were never formatted (degraded mount after a
+        // crash between device swap and the first rebuild checkpoint):
+        // rewrite_replicated_md re-creates everything during rebuild.
         loop_->schedule_after(1, [cb = std::move(cb)] { cb(Status::ok()); });
         return;
     }
-    DevState &st = dev_state_[dev];
-    uint32_t role_idx = static_cast<uint32_t>(role);
     std::vector<uint8_t> bytes = encode(entry);
     uint64_t sectors = bytes.size() / kSectorSize;
     int zone_idx = st.role_zone[role_idx];

@@ -63,6 +63,14 @@ class MdManager
     /// mkfs path: resets all metadata zones and binds initial roles.
     Status format();
 
+    /// Spare promotion: swaps the device pointer for slot `dev` (the
+    /// manager keeps its own device table). The caller formats the
+    /// replacement's metadata zones separately via format_device().
+    void replace_device(uint32_t dev, BlockDevice *replacement)
+    {
+        devs_[dev] = replacement;
+    }
+
     /// Re-initializes one (replaced) device's metadata zones.
     Status format_device(uint32_t dev);
 

@@ -70,7 +70,7 @@ decode_md_entry(const std::vector<uint8_t> &zone_bytes, uint64_t off)
     entry.header.checkpoint = (raw_type & kMdCheckpointFlag) != 0;
     raw_type &= ~kMdCheckpointFlag;
     if (raw_type < 1 ||
-        raw_type > static_cast<uint32_t>(MdType::kZoneRebuildLog)) {
+        raw_type > static_cast<uint32_t>(MdType::kRebuildCheckpoint)) {
         return Status(StatusCode::kCorruption, "bad metadata type");
     }
     entry.header.type = static_cast<MdType>(raw_type);
@@ -191,6 +191,50 @@ decode_zone_rebuild(const MdEntry &entry)
     rec.phase = get<uint32_t>(entry.inline_data.data() + 8);
     rec.swap_idx = get<uint32_t>(entry.inline_data.data() + 12);
     rec.image_sectors = get<uint64_t>(entry.inline_data.data() + 16);
+    return rec;
+}
+
+std::vector<uint8_t>
+encode_rebuild_checkpoint(const RebuildCheckpointRecord &rec)
+{
+    uint32_t nzones = static_cast<uint32_t>(rec.rebuilt.size());
+    size_t bitmap_bytes = (nzones + 7) / 8;
+    assert(20 + bitmap_bytes <= kMdInlineBytes);
+    std::vector<uint8_t> out(20 + bitmap_bytes, 0);
+    put<uint32_t>(out, 0, rec.dev);
+    put<uint32_t>(out, 4, rec.state);
+    put<uint32_t>(out, 8, rec.zones_done);
+    put<uint32_t>(out, 12, rec.cur_zone);
+    put<uint32_t>(out, 16, nzones);
+    for (uint32_t z = 0; z < nzones; ++z) {
+        if (rec.rebuilt[z])
+            out[20 + z / 8] |= static_cast<uint8_t>(1u << (z % 8));
+    }
+    return out;
+}
+
+Result<RebuildCheckpointRecord>
+decode_rebuild_checkpoint(const MdEntry &entry)
+{
+    if (entry.header.type != MdType::kRebuildCheckpoint ||
+        entry.inline_data.size() < 20) {
+        return Status(StatusCode::kCorruption,
+                      "bad rebuild checkpoint record");
+    }
+    const uint8_t *p = entry.inline_data.data();
+    RebuildCheckpointRecord rec;
+    rec.dev = get<uint32_t>(p);
+    rec.state = get<uint32_t>(p + 4);
+    rec.zones_done = get<uint32_t>(p + 8);
+    rec.cur_zone = get<uint32_t>(p + 12);
+    uint32_t nzones = get<uint32_t>(p + 16);
+    if (entry.inline_data.size() < 20 + (nzones + 7) / 8) {
+        return Status(StatusCode::kCorruption,
+                      "truncated rebuild checkpoint bitmap");
+    }
+    rec.rebuilt.assign(nzones, false);
+    for (uint32_t z = 0; z < nzones; ++z)
+        rec.rebuilt[z] = (p[20 + z / 8] >> (z % 8)) & 1u;
     return rec;
 }
 

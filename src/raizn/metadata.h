@@ -42,6 +42,10 @@ enum class MdType : uint32_t {
     kZoneRole = 6,
     /// Write-ahead record for physical-zone rebuild (relocation GC).
     kZoneRebuildLog = 7,
+    /// Progress checkpoint for a whole-device rebuild: which logical
+    /// zones of the replacement device hold durable reconstructed data,
+    /// so a crash mid-rebuild resumes instead of restarting.
+    kRebuildCheckpoint = 8,
 };
 
 constexpr bool
@@ -133,5 +137,27 @@ struct ZoneRebuildRecord {
 
 std::vector<uint8_t> encode_zone_rebuild(const ZoneRebuildRecord &rec);
 Result<ZoneRebuildRecord> decode_zone_rebuild(const MdEntry &entry);
+
+/// kRebuildCheckpoint inline record. Appended durably to every
+/// surviving device at rebuild start and after each completed zone;
+/// `header.generation` carries the volume update sequence so the
+/// newest record wins at replay. `state` == kDone supersedes any
+/// in-progress record for the same device.
+struct RebuildCheckpointRecord {
+    enum State : uint32_t { kInProgress = 1, kDone = 2 };
+
+    uint32_t dev = 0; ///< device slot being rebuilt
+    uint32_t state = kInProgress;
+    uint32_t zones_done = 0; ///< zone-order cursor (completed count)
+    uint32_t cur_zone = ~0u; ///< logical zone in flight (~0u = none)
+    /// One bit per logical zone: set when the zone's reconstructed
+    /// content is fully durable on the replacement device.
+    std::vector<bool> rebuilt;
+};
+
+std::vector<uint8_t>
+encode_rebuild_checkpoint(const RebuildCheckpointRecord &rec);
+Result<RebuildCheckpointRecord>
+decode_rebuild_checkpoint(const MdEntry &entry);
 
 } // namespace raizn

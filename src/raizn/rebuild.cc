@@ -7,6 +7,22 @@
  * write pointer). Empty zones are skipped entirely, which is why
  * RAIZN's time-to-repair scales with the amount of valid data while
  * mdraid's resync is constant.
+ *
+ * The rebuild is crash-resumable: a checkpoint record (which logical
+ * zones of the target hold durable reconstructed data) is appended to
+ * every surviving device's general metadata log — once before the
+ * first write touches the target, after every completed zone, and as
+ * a terminal "done" record. Mount-time recovery finds the newest
+ * record and, for an in-progress one, re-marks the target as the
+ * array's absent device so resume_rebuild() can verify and skip the
+ * checkpointed zones instead of restarting. The final write of every
+ * rebuilt zone carries FUA, which under the sequential zone cache
+ * model persists the whole zone, so a checkpointed zone is durable by
+ * construction.
+ *
+ * Rebuild traffic optionally flows through a token-bucket throttle so
+ * degraded foreground service keeps a configurable share of the
+ * array; see raizn/throttle.h.
  */
 #include <algorithm>
 #include <cassert>
@@ -43,6 +59,11 @@ struct RebuildJob {
     std::map<uint64_t, std::pair<bool, std::vector<uint8_t>>> ready;
     uint32_t inflight_writes = 0;
     bool zone_active = false;
+    /// Last stripe index with a non-empty unit on the target: its
+    /// write carries FUA so the whole zone is durable on completion.
+    uint64_t last_data_stripe = 0;
+    /// A throttle wake-up is already scheduled.
+    bool throttle_armed = false;
 
     static constexpr uint64_t kWindow = 32;
 };
@@ -93,9 +114,156 @@ RaiznVolume::rewrite_replicated_md(uint32_t dev)
     return Status::ok();
 }
 
+std::vector<uint8_t>
+RaiznVolume::encode_current_rebuild_checkpoint(uint32_t dev,
+                                               uint32_t state,
+                                               uint32_t cur_zone) const
+{
+    RebuildCheckpointRecord rec;
+    rec.dev = dev;
+    rec.state = state;
+    rec.cur_zone = cur_zone;
+    rec.rebuilt.assign(zones_.size(), false);
+    uint32_t done = 0;
+    for (uint32_t z = 0; z < zones_.size(); ++z) {
+        if (z < zone_rebuilt_.size() && zone_rebuilt_[z]) {
+            rec.rebuilt[z] = true;
+            done++;
+        }
+    }
+    rec.zones_done = done;
+    return encode_rebuild_checkpoint(rec);
+}
+
+void
+RaiznVolume::persist_rebuild_checkpoint(uint32_t dev, uint32_t state,
+                                        uint32_t cur_zone, bool wait)
+{
+    std::vector<uint8_t> bytes =
+        encode_current_rebuild_checkpoint(dev, state, cur_zone);
+    uint64_t seq = gen_update_seq_++;
+    auto pending = std::make_shared<uint32_t>(0);
+    for (uint32_t d = 0; d < devs_.size(); ++d) {
+        if (devs_[d]->failed())
+            continue;
+        // While the rebuild is in progress the target's own log is not
+        // yet trustworthy (it may not even be formatted); only the
+        // terminal record goes everywhere.
+        if (d == dev &&
+            state == RebuildCheckpointRecord::kInProgress) {
+            continue;
+        }
+        MdAppend app;
+        app.header.type = MdType::kRebuildCheckpoint;
+        app.header.generation = seq;
+        app.inline_data = bytes;
+        (*pending)++;
+        md_->append(d, MdZoneRole::kGeneral, std::move(app),
+                    /*durable=*/true, [pending](Status s) {
+                        if (!s.is_ok()) {
+                            LOG_WARN("rebuild checkpoint append failed: "
+                                     "%s",
+                                     s.to_string().c_str());
+                        }
+                        (*pending)--;
+                    });
+    }
+    stats_.rebuild_checkpoints++;
+    if (wait)
+        loop_->run_until_pred([pending] { return *pending == 0; });
+}
+
+uint64_t
+RaiznVolume::expected_phys_fill(uint32_t dev, uint32_t zone) const
+{
+    const LZone &lz = zones_[zone];
+    const uint32_t su = cfg_.su_sectors;
+    const uint64_t ss = layout_->stripe_sectors();
+    uint64_t fill = lz.wp - lz.start;
+    uint64_t fs = fill / ss;
+    uint64_t rem = fill % ss;
+    // One stripe unit (data or parity) per complete stripe, plus this
+    // device's written share of the tail stripe.
+    uint64_t e = fs * su;
+    if (rem > 0) {
+        int pos = layout_->data_pos_of_dev(zone, fs, dev);
+        if (pos >= 0) {
+            uint64_t start = static_cast<uint64_t>(pos) * su;
+            if (rem > start)
+                e += std::min<uint64_t>(su, rem - start);
+        }
+    }
+    return e;
+}
+
+void
+RaiznVolume::relog_tail_pp(uint32_t dev, uint32_t zone)
+{
+    LZone &lz = zones_[zone];
+    uint64_t fill = lz.wp - lz.start;
+    uint64_t in_stripe = fill % layout_->stripe_sectors();
+    if (in_stripe == 0)
+        return;
+    uint64_t stripe = fill / layout_->stripe_sectors();
+    if (layout_->parity_dev(zone, stripe) != dev)
+        return;
+    auto it = pp_index_.find(zs_key(zone, stripe));
+    if (it == pp_index_.end() || it->second.empty())
+        return;
+    std::vector<uint8_t> parity(
+        static_cast<size_t>(cfg_.su_sectors) * kSectorSize, 0);
+    uint64_t end = 0;
+    for (const PpRecord &rec : it->second) {
+        end = std::max(end, rec.end_lba);
+        if (!rec.delta.empty()) {
+            xor_bytes(parity.data() + rec.lo_sector * kSectorSize,
+                      rec.delta.data(), rec.delta.size());
+        }
+    }
+    uint64_t sectors = std::min<uint64_t>(cfg_.su_sectors, in_stripe);
+    parity.resize(sectors * kSectorSize);
+    MdAppend app = make_pp_append(
+        zone, stripe, lz.start + stripe * layout_->stripe_sectors(), end,
+        0, std::move(parity));
+    // Durable: this is the only copy — the original record died with
+    // the old device, and a crash between here and the next flush must
+    // not lose the tail stripe's reconstructability.
+    md_->append(dev, MdZoneRole::kParityLog, std::move(app), true,
+                [](Status s) {
+                    if (!s.is_ok()) {
+                        LOG_WARN("tail pp re-log failed: %s",
+                                 s.to_string().c_str());
+                    }
+                });
+}
+
 void
 RaiznVolume::rebuild_device(uint32_t dev, ProgressCb progress,
                             StatusCb done)
+{
+    rebuild_device_internal(dev, /*resume=*/false, std::move(progress),
+                            std::move(done));
+}
+
+void
+RaiznVolume::resume_rebuild(ProgressCb progress, StatusCb done)
+{
+    if (pending_rebuild_dev_ < 0) {
+        loop_->schedule_after(1, [done = std::move(done)] {
+            done(Status(StatusCode::kInvalidArgument,
+                        "no checkpointed rebuild to resume"));
+        });
+        return;
+    }
+    uint32_t dev = static_cast<uint32_t>(pending_rebuild_dev_);
+    pending_rebuild_dev_ = -1;
+    rebuild_device_internal(dev, /*resume=*/true, std::move(progress),
+                            std::move(done));
+}
+
+void
+RaiznVolume::rebuild_device_internal(uint32_t dev, bool resume,
+                                     ProgressCb progress, StatusCb done)
 {
     if (failed_dev_ != static_cast<int>(dev) || devs_[dev]->failed()) {
         loop_->schedule_after(1, [done = std::move(done)] {
@@ -105,37 +273,122 @@ RaiznVolume::rebuild_device(uint32_t dev, ProgressCb progress,
         return;
     }
 
+    rebuilding_ = true;
+    zone_rebuilt_.assign(zones_.size(), false);
+    for (uint32_t z = 0; z < zones_.size(); ++z) {
+        if (zones_[z].cond == raizn::ZoneState::kEmpty)
+            zone_rebuilt_[z] = true;
+    }
+
+    if (resume) {
+        // Trust a checkpointed zone only when the target's physical
+        // write pointer matches the fill the recovered logical zone
+        // implies; everything else is reset and rebuilt from parity.
+        for (uint32_t z = 0; z < zones_.size(); ++z) {
+            if (zone_rebuilt_[z])
+                continue;
+            bool verified = false;
+            if (z < ckpt_rebuilt_.size() && ckpt_rebuilt_[z]) {
+                auto zi = devs_[dev]->zone_info(z);
+                if (zi.is_ok() &&
+                    zi.value().written() == expected_phys_fill(dev, z)) {
+                    verified = true;
+                }
+            }
+            if (verified) {
+                zone_rebuilt_[z] = true;
+                stats_.rebuild_zones_resumed++;
+                continue;
+            }
+            auto zi = devs_[dev]->zone_info(z);
+            if (zi.is_ok() && zi.value().written() > 0) {
+                uint64_t phys =
+                    static_cast<uint64_t>(z) * layout_->phys_zone_size();
+                auto r = dev_sync(dev, IoRequest::zone_reset(phys));
+                if (!r.status.is_ok()) {
+                    Status st = r.status;
+                    loop_->schedule_after(
+                        1, [done = std::move(done), st] { done(st); });
+                    rebuilding_ = false;
+                    return;
+                }
+            }
+        }
+        ckpt_rebuilt_.clear();
+    }
+
+    // The checkpoint must be durable on the survivors before anything
+    // is written to the target: a crash in between would otherwise
+    // leave a half-written device that the next mount cannot tell from
+    // a healthy one.
+    persist_rebuild_checkpoint(dev, RebuildCheckpointRecord::kInProgress,
+                               ~0u, /*wait=*/true);
+
     Status st = rewrite_replicated_md(dev);
     if (!st) {
+        rebuilding_ = false;
         loop_->schedule_after(1, [done = std::move(done), st] {
             done(st);
         });
         return;
     }
 
-    rebuilding_ = true;
-    zone_rebuilt_.assign(zones_.size(), false);
+    if (resume) {
+        // Re-formatting the target's metadata zones wiped whatever the
+        // pre-crash rebuild had logged there; regenerate it from the
+        // recovered in-memory state.
+        for (const Relocation *rel : reloc_.all()) {
+            if (rel->dev != dev)
+                continue;
+            MdAppend app;
+            app.header.type = MdType::kRelocatedSu;
+            app.header.start_lba = rel->lba;
+            app.header.end_lba = rel->lba + rel->nsectors;
+            app.header.generation = gen_.get(layout_->zone_of(rel->lba));
+            app.inline_data.assign(8, 0);
+            app.payload = rel->cached;
+            if (app.payload.empty()) {
+                app.payload.assign(
+                    static_cast<size_t>(rel->nsectors) * kSectorSize, 0);
+            }
+            md_->append(dev, MdZoneRole::kGeneral, std::move(app), true,
+                        [](Status) {});
+        }
+        for (uint32_t z = 0; z < zones_.size(); ++z) {
+            if (zone_rebuilt_[z] &&
+                zones_[z].cond != raizn::ZoneState::kEmpty) {
+                relog_tail_pp(dev, z);
+            }
+        }
+    }
+
+    // Throttled rebuild: rate-limit reconstruction traffic so degraded
+    // foreground service keeps headroom. Baseline latency is the
+    // foreground write EWMA observed before the rebuild load starts.
+    throttle_.reset();
+    if (lifecycle_.throttle.rate_sectors_per_sec > 0) {
+        throttle_ = std::make_unique<RebuildThrottle>(
+            loop_, lifecycle_.throttle);
+        throttle_->set_baseline_latency(fg_write_ewma_ns_);
+    }
 
     auto job = std::make_shared<RebuildJob>();
     job->dev = dev;
     job->progress = std::move(progress);
     job->done = std::move(done);
 
-    // Active (open/closed) zones first, then full zones; empty zones
-    // need no work (§4.2).
+    // Active (open/closed) zones first, then full zones; empty and
+    // resume-verified zones need no work (§4.2).
     for (uint32_t z = 0; z < zones_.size(); ++z) {
-        if (is_active(zones_[z].cond))
+        if (is_active(zones_[z].cond) && !zone_rebuilt_[z])
             job->zone_order.push_back(z);
-        else if (zones_[z].cond == raizn::ZoneState::kEmpty)
-            zone_rebuilt_[z] = true;
     }
     for (uint32_t z = 0; z < zones_.size(); ++z) {
-        if (zones_[z].cond == raizn::ZoneState::kFull)
+        if (zones_[z].cond == raizn::ZoneState::kFull && !zone_rebuilt_[z])
             job->zone_order.push_back(z);
     }
 
     // Kick off the per-zone pipeline.
-    std::function<void(std::shared_ptr<RebuildJob>)> start_zone;
     auto pump = std::make_shared<
         std::function<void(std::shared_ptr<RebuildJob>)>>();
     auto finished = std::make_shared<bool>(false);
@@ -145,6 +398,7 @@ RaiznVolume::rebuild_device(uint32_t dev, ProgressCb progress,
         *finished = true;
         rebuilding_ = false;
         failed_dev_ = -1;
+        throttle_.reset();
         // Relocations and burned ranges on the rebuilt device are
         // folded into the reconstructed data.
         std::vector<uint64_t> drop;
@@ -156,6 +410,9 @@ RaiznVolume::rebuild_device(uint32_t dev, ProgressCb progress,
             reloc_.drop_zone(lba, lba + 1);
         for (uint32_t z = 0; z < zones_.size(); ++z)
             burned_.clear_dev_zone(job->dev, z);
+        persist_rebuild_checkpoint(job->dev,
+                                   RebuildCheckpointRecord::kDone, ~0u,
+                                   /*wait=*/false);
         auto done = std::move(job->done);
         done(job->status);
     };
@@ -165,38 +422,12 @@ RaiznVolume::rebuild_device(uint32_t dev, ProgressCb progress,
         LZone &lz = zones_[job->zone];
         // Re-log partial parity for the tail stripe if this device is
         // its parity holder (the old device's parity log is gone).
-        uint64_t in_stripe = job->fill % layout_->stripe_sectors();
-        if (in_stripe != 0) {
-            uint64_t stripe = job->fill / layout_->stripe_sectors();
-            if (layout_->parity_dev(job->zone, stripe) == job->dev) {
-                auto it = pp_index_.find(zs_key(job->zone, stripe));
-                if (it != pp_index_.end() && !it->second.empty()) {
-                    std::vector<uint8_t> parity(
-                        static_cast<size_t>(cfg_.su_sectors) * kSectorSize,
-                        0);
-                    uint64_t end = 0;
-                    for (const PpRecord &rec : it->second) {
-                        end = std::max(end, rec.end_lba);
-                        if (!rec.delta.empty()) {
-                            xor_bytes(parity.data() +
-                                          rec.lo_sector * kSectorSize,
-                                      rec.delta.data(), rec.delta.size());
-                        }
-                    }
-                    uint64_t sectors = std::min<uint64_t>(
-                        cfg_.su_sectors, in_stripe);
-                    parity.resize(sectors * kSectorSize);
-                    MdAppend app = make_pp_append(
-                        job->zone, stripe,
-                        lz.start + stripe * layout_->stripe_sectors(),
-                        end, 0, std::move(parity));
-                    md_->append(job->dev, MdZoneRole::kParityLog,
-                                std::move(app), false, [](Status) {});
-                }
-            }
-        }
+        relog_tail_pp(job->dev, job->zone);
         zone_rebuilt_[job->zone] = true;
         stats_.zones_rebuilt++;
+        persist_rebuild_checkpoint(job->dev,
+                                   RebuildCheckpointRecord::kInProgress,
+                                   ~0u, /*wait=*/false);
         lz.blocked = false;
         drain_waiters(job->zone);
         if (job->progress)
@@ -244,15 +475,43 @@ RaiznVolume::rebuild_device(uint32_t dev, ProgressCb progress,
             return std::min<uint64_t>(su, job->fill - start);
         };
 
-        // Issue reconstructions within the window.
+        if (job->next_issue == 0 && job->next_write == 0) {
+            // Zone start: find the last stripe this device contributes
+            // to, so its write can carry FUA (persisting the zone).
+            job->last_data_stripe = 0;
+            for (uint64_t s = 0; s < job->nstripes; ++s) {
+                if (unit_len(s) > 0)
+                    job->last_data_stripe = s;
+            }
+        }
+
+        // Issue reconstructions within the window, paced by the
+        // throttle when one is configured.
         while (job->next_issue < job->nstripes &&
                job->next_issue < job->next_write + RebuildJob::kWindow) {
-            uint64_t s = job->next_issue++;
+            uint64_t s = job->next_issue;
             uint64_t len = unit_len(s);
             if (len == 0) {
+                job->next_issue++;
                 job->ready[s] = {true, {}};
                 continue;
             }
+            if (throttle_ != nullptr && !throttle_->try_acquire(len)) {
+                stats_.rebuild_throttle_stalls++;
+                if (!job->throttle_armed) {
+                    job->throttle_armed = true;
+                    loop_->schedule_after(
+                        throttle_->ns_until(len),
+                        [pump, job, alive = alive_] {
+                            if (!*alive)
+                                return;
+                            job->throttle_armed = false;
+                            (*pump)(job);
+                        });
+                }
+                break;
+            }
+            job->next_issue++;
             int pos = layout_->data_pos_of_dev(job->zone, s, job->dev);
             job->ready[s] = {false, {}};
             reconstruct_stripe_unit(
@@ -280,6 +539,10 @@ RaiznVolume::rebuild_device(uint32_t dev, ProgressCb progress,
             req.op = IoOp::kWrite;
             req.slba = layout_->slot_pba(job->zone, s);
             req.nsectors = static_cast<uint32_t>(len);
+            // The zone's final write is FUA: under the sequential zone
+            // cache model it persists everything written before it, so
+            // the checkpoint that follows never over-claims.
+            req.fua = s == job->last_data_stripe;
             if (store_data_) {
                 content.resize(static_cast<size_t>(len) * kSectorSize);
                 req.data = std::move(content);

@@ -54,10 +54,15 @@ RaiznVolume::mount(EventLoop *loop, std::vector<BlockDevice *> devs)
         return Status(StatusCode::kInvalidArgument, "no devices");
 
     // Locate the newest superblock: metadata zones are the trailing
-    // physical zones, so scan backwards on any live device.
+    // physical zones, so scan backwards on any live device. Track which
+    // devices carry one at all: an alive device with no superblock is a
+    // factory-fresh replacement whose rebuild never got its first
+    // checkpoint durable, and must be treated as the absent device.
     Superblock best;
     bool found = false;
-    for (BlockDevice *dev : devs) {
+    std::vector<bool> has_sb(devs.size(), false);
+    for (size_t di = 0; di < devs.size(); ++di) {
+        BlockDevice *dev = devs[di];
         if (dev->failed())
             continue;
         const DeviceGeometry &g = dev->geometry();
@@ -80,10 +85,12 @@ RaiznVolume::mount(EventLoop *loop, std::vector<BlockDevice *> devs)
                 if (e.header.type != MdType::kSuperblock)
                     continue;
                 auto sb = Superblock::decode(e.inline_data);
-                if (sb.is_ok() &&
-                    (!found || sb.value().seq >= best.seq)) {
-                    best = sb.value();
-                    found = true;
+                if (sb.is_ok()) {
+                    has_sb[di] = true;
+                    if (!found || sb.value().seq >= best.seq) {
+                        best = sb.value();
+                        found = true;
+                    }
                 }
             }
         }
@@ -102,6 +109,22 @@ RaiznVolume::mount(EventLoop *loop, std::vector<BlockDevice *> devs)
         if (vol->devs_[d]->failed())
             vol->failed_dev_ = static_cast<int>(d);
     }
+    for (uint32_t d = 0; d < vol->devs_.size(); ++d) {
+        if (has_sb[d] || vol->devs_[d]->failed())
+            continue;
+        if (vol->failed_dev_ >= 0 &&
+            vol->failed_dev_ != static_cast<int>(d)) {
+            return Status(StatusCode::kIoError,
+                          strprintf("device %u has no superblock and "
+                                    "device %d is failed: two devices "
+                                    "down",
+                                    d, vol->failed_dev_));
+        }
+        LOG_WARN("device %u carries no superblock: treating as an "
+                 "unrebuilt replacement (degraded mount)",
+                 d);
+        vol->failed_dev_ = static_cast<int>(d);
+    }
     Status st = vol->run_recovery();
     if (!st)
         return st;
@@ -117,6 +140,53 @@ RaiznVolume::run_recovery()
 
     RecoveryCtx rc;
     const std::vector<MdManager::DeviceLog> &devlogs = logs.value();
+
+    // Rebuild checkpoint: the newest record (by update sequence) tells
+    // whether a whole-device rebuild was in flight at the crash. An
+    // in-progress record re-marks the target as the array's absent
+    // device — its data zones are partially reconstructed and must not
+    // be trusted — and arms resume_rebuild() with the zone bitmap.
+    {
+        RebuildCheckpointRecord newest;
+        uint64_t newest_seq = 0;
+        bool have = false;
+        for (const auto &devlog : devlogs) {
+            for (const MdEntry &e : devlog.entries) {
+                if (e.header.type != MdType::kRebuildCheckpoint)
+                    continue;
+                gen_update_seq_ =
+                    std::max(gen_update_seq_, e.header.generation + 1);
+                auto rec = decode_rebuild_checkpoint(e);
+                if (!rec.is_ok())
+                    continue;
+                if (!have || e.header.generation >= newest_seq) {
+                    newest = std::move(rec.value());
+                    newest_seq = e.header.generation;
+                    have = true;
+                }
+            }
+        }
+        if (have &&
+            newest.state == RebuildCheckpointRecord::kInProgress &&
+            newest.dev < devs_.size()) {
+            if (devs_[newest.dev]->failed()) {
+                // The target itself is gone again: plain degraded
+                // mount; the checkpoint is moot.
+            } else if (failed_dev_ >= 0 &&
+                       failed_dev_ != static_cast<int>(newest.dev)) {
+                LOG_ERROR("rebuild checkpoint for dev %u but dev %d is "
+                          "failed: two devices down",
+                          newest.dev, failed_dev_);
+            } else {
+                failed_dev_ = static_cast<int>(newest.dev);
+                pending_rebuild_dev_ = failed_dev_;
+                ckpt_rebuilt_ = newest.rebuilt;
+                LOG_INFO("rebuild of dev %u interrupted "
+                         "(%u zones checkpointed); resume available",
+                         newest.dev, newest.zones_done);
+            }
+        }
+    }
 
     // Pass 1: generation counters must be current before anything else
     // can be validated.
@@ -159,7 +229,7 @@ RaiznVolume::run_recovery()
             continue;
         bool empty = true;
         for (uint32_t d = 0; d < devs_.size(); ++d) {
-            if (devs_[d]->failed())
+            if (dev_down(d))
                 continue;
             auto zi = devs_[d]->zone_info(z);
             if (!zi.is_ok())
@@ -194,7 +264,7 @@ RaiznVolume::run_recovery()
     // Relocation-threshold maintenance: physical zones with too many
     // remapped stripe units are rebuilt at initialization (§5.2).
     for (uint32_t d = 0; d < devs_.size(); ++d) {
-        if (devs_[d]->failed())
+        if (dev_down(d))
             continue;
         std::map<uint32_t, uint32_t> per_zone;
         for (const Relocation *rel : reloc_.all()) {
@@ -234,6 +304,7 @@ RaiznVolume::replay_md_logs(RecoveryCtx &rc,
               case MdType::kSuperblock:
               case MdType::kGenCounters:
               case MdType::kZoneRole:
+              case MdType::kRebuildCheckpoint:
                 break; // handled elsewhere
               case MdType::kZoneResetLog: {
                 auto rec = decode_zone_reset(e);
@@ -348,7 +419,21 @@ RaiznVolume::replay_md_logs(RecoveryCtx &rc,
         rec.lo_sector = lo32;
         if (store_data_)
             rec.delta = e.payload;
-        pp_index_[key].push_back(std::move(rec));
+        // A record can be logged twice — the rebuild re-logs a zone's
+        // folded tail parity, and a crash between re-log and resume
+        // replays both copies. Folding identical deltas twice XORs
+        // them away, so duplicates (same range, same lane) are
+        // dropped, never folded.
+        auto &recs = pp_index_[key];
+        bool dup = std::any_of(
+            recs.begin(), recs.end(), [&](const PpRecord &r) {
+                return r.start_lba == rec.start_lba &&
+                    r.end_lba == rec.end_lba &&
+                    r.lo_sector == rec.lo_sector;
+            });
+        if (dup)
+            continue;
+        recs.push_back(std::move(rec));
     }
     // Order each stripe's records by start LBA ("in order", §5.1).
     for (auto &[key, recs] : pp_index_) {
@@ -367,7 +452,7 @@ RaiznVolume::complete_partial_reset(uint32_t zone)
     uint64_t phys_start =
         static_cast<uint64_t>(zone) * layout_->phys_zone_size();
     for (uint32_t d = 0; d < devs_.size(); ++d) {
-        if (devs_[d]->failed())
+        if (dev_down(d))
             continue;
         auto res = dev_sync(d, IoRequest::zone_reset(phys_start));
         if (!res.status.is_ok())
@@ -385,7 +470,7 @@ RaiznVolume::recover_logical_zone(uint32_t zone, RecoveryCtx &rc)
     bool any_written = false;
     bool all_full = true;
     for (uint32_t d = 0; d < devs_.size(); ++d) {
-        if (devs_[d]->failed()) {
+        if (dev_down(d)) {
             all_full = false;
             continue;
         }
@@ -468,7 +553,7 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
     // Claimed logical fill: the most any device implies.
     uint64_t L = 0;
     for (uint32_t d = 0; d < devs_.size(); ++d) {
-        if (devs_[d]->failed())
+        if (dev_down(d))
             continue;
         L = std::max(L,
                      layout_->progress_from_device(zone, d, written[d]));
@@ -526,7 +611,7 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
     uint64_t F = L;
     uint64_t first_stripe = UINT64_MAX, last_stripe = 0;
     for (uint32_t d = 0; d < devs_.size(); ++d) {
-        if (devs_[d]->failed())
+        if (dev_down(d))
             continue;
         uint64_t e = expected(d, L);
         if (written[d] < e) {
@@ -563,7 +648,7 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
             std::vector<Piece> missing;
             uint64_t slot = s * su;
             for (uint32_t d = 0; d < devs_.size(); ++d) {
-                if (devs_[d]->failed())
+                if (dev_down(d))
                     continue;
                 uint64_t e = std::min(expected(d, L), slot + su);
                 if (e <= slot)
@@ -603,7 +688,7 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                 (failed_hi > 0 ? 1 : 0);
 
             uint32_t pdev = layout_->parity_dev(zone, s);
-            bool parity_present = !devs_[pdev]->failed() &&
+            bool parity_present = !dev_down(pdev) &&
                 written[pdev] >= slot + su;
             for (const Piece &p : missing)
                 if (p.pos < 0)
@@ -641,7 +726,7 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                 }
                 if (!store_data_)
                     pp_usable = pp_index_.count(zs_key(zone, s)) > 0;
-                if (devs_[pdev]->failed())
+                if (dev_down(pdev))
                     pp_usable = false; // pp lives on the parity device
             }
 
@@ -678,7 +763,7 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                         ? std::min<uint64_t>(failed_hi,
                                              cov_end - ustart_lba)
                         : 0;
-                    if (devs_[pdev]->failed())
+                    if (dev_down(pdev))
                         ppc = 0; // pp lives on the parity device
                     if (!store_data_ &&
                         pp_index_.count(zs_key(zone, s)) > 0)
@@ -734,7 +819,7 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                             if (static_cast<int>(k) == p.pos)
                                 continue;
                             uint32_t kd = layout_->data_dev(zone, s, k);
-                            if (devs_[kd]->failed())
+                            if (dev_down(kd))
                                 continue;
                             // Only the portion this unit contributed to
                             // the (partial) parity.
@@ -784,7 +869,7 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                         }
                         for (uint32_t k = 0; k < D; ++k) {
                             uint32_t kd = layout_->data_dev(zone, s, k);
-                            if (devs_[kd]->failed())
+                            if (dev_down(kd))
                                 continue;
                             uint64_t k_lo = p.lo, k_hi = p.hi;
                             if (use_pp) {
@@ -866,7 +951,7 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
         stats_.holes_remapped++;
         L = F;
         for (uint32_t d = 0; d < devs_.size(); ++d) {
-            if (devs_[d]->failed())
+            if (dev_down(d))
                 continue;
             uint64_t e = expected(d, L);
             if (written[d] > e) {
@@ -954,7 +1039,7 @@ Status
 RaiznVolume::rebuild_physical_zone(uint32_t dev, uint32_t zone,
                                    const ZoneRebuildRecord *resume)
 {
-    if (devs_[dev]->failed())
+    if (dev_down(dev))
         return Status::ok();
     stats_.phys_zone_rebuilds++;
     LZone &lz = zones_[zone];

@@ -55,6 +55,9 @@ RaiznVolume::RaiznVolume(EventLoop *loop, std::vector<BlockDevice *> devs,
 
     health_ = std::make_unique<HealthMonitor>(
         static_cast<uint32_t>(devs_.size()));
+    health_->set_escalation([this](uint32_t dev, HealthEvent ev) {
+        on_health_event(dev, ev);
+    });
     retrier_ = std::make_unique<IoRetrier>(loop_, RetryPolicy{},
                                            health_.get(),
                                            &stats_.io_retries,
@@ -74,16 +77,24 @@ RaiznVolume::set_resilience(const ResilienceConfig &rc)
 {
     health_ = std::make_unique<HealthMonitor>(
         static_cast<uint32_t>(devs_.size()), rc.health);
+    health_->set_escalation([this](uint32_t dev, HealthEvent ev) {
+        on_health_event(dev, ev);
+    });
     retrier_ = std::make_unique<IoRetrier>(loop_, rc.retry, health_.get(),
                                            &stats_.io_retries,
                                            &stats_.io_timeouts);
     md_->set_retrier(retrier_.get());
+    // The monitor was replaced: any linked health counters would
+    // dangle, so refresh the registry bindings in place.
+    if (reg_ != nullptr)
+        attach_observability(reg_, trace_);
 }
 
 void
 RaiznVolume::attach_observability(obs::MetricsRegistry *reg,
                                   obs::TraceRecorder *trace)
 {
+    reg_ = reg;
     trace_ = trace;
     dev_obs_.clear();
     write_lat_ = nullptr;
@@ -101,6 +112,8 @@ RaiznVolume::attach_observability(obs::MetricsRegistry *reg,
         dev_obs_[d].write_ns = reg->latency(prefix + ".write_ns");
         dev_obs_[d].flush_ns = reg->latency(prefix + ".flush_ns");
         dev_obs_[d].other_ns = reg->latency(prefix + ".other_ns");
+        obs::link_stats(*reg, strprintf("raizn.health.dev%u", d),
+                        health_->device(d));
     }
 }
 
@@ -176,8 +189,15 @@ bool
 RaiznVolume::escalate_dev_error(uint32_t dev, const Status &s)
 {
     stats_.dev_errors++;
-    if (s.code() == StatusCode::kOffline || health_->should_fail(dev))
+    if (s.code() == StatusCode::kOffline) {
+        // An abrupt device death is non-retryable and bypasses the
+        // retrier's health accounting; record the terminal failure so
+        // the health trail matches the failover decision.
+        health_->record_op_failure(dev);
         mark_device_failed(dev);
+    } else if (health_->should_fail(dev)) {
+        mark_device_failed(dev);
+    }
     return failed_dev_ == static_cast<int>(dev);
 }
 
@@ -783,8 +803,16 @@ RaiznVolume::finish_write(std::shared_ptr<WriteCtx> ctx)
             trace_->end_span(ctx->total_token, loop_->now());
             ctx->total_token = 0;
         }
+        uint64_t elapsed = loop_->now() - ctx->start_tick;
         if (write_lat_ != nullptr)
-            write_lat_->record(loop_->now() - ctx->start_tick);
+            write_lat_->record(elapsed);
+        // Foreground write latency EWMA: the adaptive rebuild throttle
+        // compares this against the pre-rebuild baseline.
+        fg_write_ewma_ns_ = fg_write_ewma_ns_ == 0.0
+            ? static_cast<double>(elapsed)
+            : 0.2 * static_cast<double>(elapsed) + 0.8 * fg_write_ewma_ns_;
+        if (throttle_ != nullptr && rebuilding_)
+            throttle_->observe_foreground_latency(elapsed);
         auto cb = std::move(ctx->cb);
         cb(std::move(r));
         return;
@@ -1704,6 +1732,79 @@ RaiznVolume::mark_device_failed(uint32_t dev)
     failed_dev_ = static_cast<int>(dev);
     if (!devs_[dev]->failed())
         devs_[dev]->fail();
+    maybe_start_auto_rebuild(dev);
+}
+
+void
+RaiznVolume::on_health_event(uint32_t dev, HealthEvent ev)
+{
+    switch (ev) {
+    case HealthEvent::kSuspect:
+        stats_.health_suspects++;
+        LOG_INFO("device %u health: suspect", dev);
+        break;
+    case HealthEvent::kFailSlow:
+        stats_.fail_slow_detected++;
+        LOG_WARN("device %u health: fail-slow (latency EWMA far above "
+                 "peers)",
+                 dev);
+        break;
+    case HealthEvent::kFailed:
+        // The data path escalates through escalate_dev_error when a
+        // command actually fails; this edge catches evidence that
+        // accrued without a caller to observe it (e.g. metadata-path
+        // retries) so the failover never waits for the next IO.
+        if (failed_dev_ != static_cast<int>(dev))
+            mark_device_failed(dev);
+        break;
+    }
+}
+
+void
+RaiznVolume::promote_spare(uint32_t dev)
+{
+    devs_[dev] = spare_;
+    spare_ = nullptr;
+    md_->replace_device(dev, devs_[dev]);
+    health_->reset_device(dev);
+    stats_.spares_promoted++;
+    LOG_INFO("hot spare promoted into slot %u", dev);
+}
+
+void
+RaiznVolume::maybe_start_auto_rebuild(uint32_t dev)
+{
+    if (!lifecycle_.auto_rebuild || spare_ == nullptr || read_only_ ||
+        failed_dev_ != static_cast<int>(dev)) {
+        return;
+    }
+    if (spare_->failed() ||
+        spare_->geometry().nzones != devs_[dev]->geometry().nzones) {
+        LOG_ERROR("hot spare unusable; staying degraded");
+        return;
+    }
+    stats_.auto_failovers++;
+    // Defer off the error path: mark_device_failed can run deep inside
+    // a sub-IO completion and the rebuild rewrites metadata
+    // synchronously.
+    loop_->schedule_after(1, [this, dev, alive = alive_] {
+        if (!*alive || failed_dev_ != static_cast<int>(dev))
+            return;
+        promote_spare(dev);
+        auto on_done = lifecycle_.on_rebuild_done;
+        rebuild_device(dev, nullptr, [this, dev, on_done,
+                                      alive = alive_](Status s) {
+            if (!*alive)
+                return;
+            if (s.is_ok())
+                LOG_INFO("automatic rebuild of slot %u complete", dev);
+            else
+                LOG_ERROR("automatic rebuild of slot %u failed: %s", dev,
+                          s.to_string().c_str());
+            if (on_done)
+                on_done(dev, s);
+        });
+    });
 }
 
 // ---- Metadata GC snapshots ---------------------------------------------
@@ -1751,6 +1852,20 @@ RaiznVolume::snapshot_for_gc(uint32_t dev, MdZoneRole role)
     sb_app.header.type = MdType::kSuperblock;
     sb_app.inline_data = copy.encode();
     out.push_back(std::move(sb_app));
+
+    // An in-flight device rebuild keeps its progress record alive
+    // across metadata GC — dropping it would turn a crash during GC
+    // into an unresumable rebuild.
+    if (rebuilding_ && failed_dev_ >= 0 &&
+        dev != static_cast<uint32_t>(failed_dev_)) {
+        MdAppend app;
+        app.header.type = MdType::kRebuildCheckpoint;
+        app.header.generation = gen_update_seq_++;
+        app.inline_data = encode_current_rebuild_checkpoint(
+            static_cast<uint32_t>(failed_dev_),
+            RebuildCheckpointRecord::kInProgress, ~0u);
+        out.push_back(std::move(app));
+    }
 
     for (uint32_t b = 0; b < gen_.num_blocks(); ++b) {
         MdAppend app;

@@ -30,6 +30,7 @@
 #include "raizn/relocation.h"
 #include "raizn/stripe_buffer.h"
 #include "raizn/superblock.h"
+#include "raizn/throttle.h"
 #include "zns/block_device.h"
 
 namespace raizn {
@@ -77,6 +78,14 @@ struct VolumeStats {
     uint64_t crc_mismatches = 0; ///< reads failing checksum validation
     uint64_t read_repairs = 0; ///< units/parity repaired from redundancy
     uint64_t scrubbed_stripes = 0; ///< stripes verified by the scrubber
+    // Failure-lifecycle counters (automatic failover + rebuild).
+    uint64_t health_suspects = 0; ///< suspect edges from the monitor
+    uint64_t fail_slow_detected = 0; ///< advisory fail-slow verdicts
+    uint64_t auto_failovers = 0; ///< health-driven failovers started
+    uint64_t spares_promoted = 0; ///< hot spares swapped into a slot
+    uint64_t rebuild_checkpoints = 0; ///< durable progress records
+    uint64_t rebuild_zones_resumed = 0; ///< zones skipped after a crash
+    uint64_t rebuild_throttle_stalls = 0; ///< rebuild IOs delayed
 
     /**
      * Enumerates every counter as (name, field). Single source of
@@ -114,6 +123,13 @@ struct VolumeStats {
         fn("crc_mismatches", crc_mismatches);
         fn("read_repairs", read_repairs);
         fn("scrubbed_stripes", scrubbed_stripes);
+        fn("health_suspects", health_suspects);
+        fn("fail_slow_detected", fail_slow_detected);
+        fn("auto_failovers", auto_failovers);
+        fn("spares_promoted", spares_promoted);
+        fn("rebuild_checkpoints", rebuild_checkpoints);
+        fn("rebuild_zones_resumed", rebuild_zones_resumed);
+        fn("rebuild_throttle_stalls", rebuild_throttle_stalls);
     }
 
     /// One-line "key=value" rendering of every counter, for benches.
@@ -186,6 +202,53 @@ class RaiznVolume
     /// history). Call before issuing IO.
     void set_resilience(const ResilienceConfig &rc);
     const HealthMonitor &health() const { return *health_; }
+
+    // ---- Failure lifecycle -----------------------------------------
+    /**
+     * Policy for the automatic failure lifecycle: when the health
+     * monitor fails a device and a hot spare is attached, the volume
+     * promotes the spare and rebuilds it in the background with no
+     * caller intervention (healthy -> suspect -> failed -> rebuilding
+     * -> healthy). Throttle settings bound the rebuild's impact on
+     * degraded foreground service.
+     */
+    struct LifecycleConfig {
+        bool auto_rebuild = true; ///< promote + rebuild on failure
+        RebuildThrottleConfig throttle;
+        /// Fired when an automatic rebuild finishes (or fails).
+        std::function<void(uint32_t dev, Status s)> on_rebuild_done;
+    };
+    void set_lifecycle(LifecycleConfig lc) { lifecycle_ = std::move(lc); }
+    const LifecycleConfig &lifecycle() const { return lifecycle_; }
+
+    /**
+     * Attaches a hot spare (a fresh, formatted-blank device with the
+     * same geometry). Non-owning; the spare must outlive the volume or
+     * be detached with set_spare(nullptr).
+     */
+    void set_spare(BlockDevice *spare) { spare_ = spare; }
+    bool has_spare() const { return spare_ != nullptr; }
+
+    /**
+     * True when mount found a durable rebuild checkpoint with state
+     * in-progress: the crash interrupted a rebuild and the caller (or
+     * an auto-rebuild lifecycle) should call resume_rebuild().
+     */
+    bool has_pending_rebuild() const { return pending_rebuild_dev_ >= 0; }
+    int pending_rebuild_device() const { return pending_rebuild_dev_; }
+
+    /**
+     * Resumes a checkpointed rebuild after a crash: zones the
+     * checkpoint marks complete are verified against the replacement
+     * device's write pointers and skipped; everything else is rebuilt.
+     */
+    void resume_rebuild(ProgressCb progress, StatusCb done);
+
+    /// Live rebuild rate view (null when no throttled rebuild runs).
+    const RebuildThrottle *rebuild_throttle() const
+    {
+        return throttle_.get();
+    }
 
     // ---- Scrubbing -------------------------------------------------
     /// Outcome of one scrub pass over the written stripes.
@@ -354,6 +417,28 @@ class RaiznVolume
     // rebuild.cc
     Status rebuild_zone_sync(uint32_t dev, uint32_t zone);
     Status rewrite_replicated_md(uint32_t dev);
+    void rebuild_device_internal(uint32_t dev, bool resume,
+                                 ProgressCb progress, StatusCb done);
+    /// Durably logs rebuild progress to every surviving device. `wait`
+    /// drives the loop until the record is durable (rebuild start: the
+    /// record must exist before the first write touches the target).
+    void persist_rebuild_checkpoint(uint32_t dev, uint32_t state,
+                                    uint32_t cur_zone, bool wait);
+    /// Current checkpoint image (metadata-GC snapshot + persist).
+    std::vector<uint8_t> encode_current_rebuild_checkpoint(
+        uint32_t dev, uint32_t state, uint32_t cur_zone) const;
+    /// Re-logs the folded tail-stripe partial parity of `zone` to the
+    /// rebuild target when the target is its parity holder.
+    void relog_tail_pp(uint32_t dev, uint32_t zone);
+    /// Expected physical fill (sectors) of `dev`'s copy of `zone` for
+    /// the current logical fill — the resume-verification yardstick.
+    uint64_t expected_phys_fill(uint32_t dev, uint32_t zone) const;
+    /// Promotes the attached spare into slot `dev` (device table, md
+    /// manager, health history). The old pointer is abandoned.
+    void promote_spare(uint32_t dev);
+    /// Health-monitor escalation edges land here.
+    void on_health_event(uint32_t dev, HealthEvent ev);
+    void maybe_start_auto_rebuild(uint32_t dev);
 
     // scrub.cc
     void scrub_stripe(uint32_t zone, uint64_t stripe, ScrubReport *rep,
@@ -370,6 +455,13 @@ class RaiznVolume
     /// True when (dev) cannot serve IO for `zone`: physically failed,
     /// or marked failed and the zone has not been rebuilt yet.
     bool dev_unavailable(uint32_t dev, uint32_t zone) const;
+    /// True when `dev`'s data zones must be treated as absent during
+    /// recovery: physically failed, or it is the rebuild target (a
+    /// promoted spare is live but holds no trusted data yet).
+    bool dev_down(uint32_t dev) const
+    {
+        return devs_[dev]->failed() || static_cast<int>(dev) == failed_dev_;
+    }
     MdAppend make_pp_append(uint32_t zone, uint64_t stripe,
                             uint64_t start_lba, uint64_t end_lba,
                             uint64_t lo_sector,
@@ -431,13 +523,24 @@ class RaiznVolume
     bool rebuilding_ = false;
     std::vector<bool> zone_rebuilt_; ///< during rebuild_device
 
+    // Failure lifecycle.
+    LifecycleConfig lifecycle_;
+    BlockDevice *spare_ = nullptr; ///< non-owning hot spare
+    std::unique_ptr<RebuildThrottle> throttle_;
+    int pending_rebuild_dev_ = -1; ///< from a mount-time checkpoint
+    std::vector<bool> ckpt_rebuilt_; ///< checkpointed zone bitmap
+    double fg_write_ewma_ns_ = 0.0; ///< foreground write latency EWMA
+
     // Resilience layer.
     std::unique_ptr<HealthMonitor> health_;
     std::unique_ptr<IoRetrier> retrier_;
 
     // Observability (src/obs): null when detached. Latency handles are
     // resolved once in attach_observability, so the hot path never
-    // performs a name lookup.
+    // performs a name lookup. The registry pointer is kept so health
+    // counters can be re-linked when set_resilience recreates the
+    // monitor.
+    obs::MetricsRegistry *reg_ = nullptr;
     obs::TraceRecorder *trace_ = nullptr;
     struct DevObs {
         obs::LatencyMetric *read_ns = nullptr;
