@@ -203,7 +203,18 @@ main(int argc, char **argv)
             (unsigned long long)r.dev_errors,
             i + 1 < records.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    // Injected faults perturb tail latency and retry counts more than
+    // throughput, so those fields get the widest bands.
+    std::fprintf(
+        f,
+        "  ],\n"
+        "  \"tolerance\": {\n"
+        "    \"mibs\": {\"rel\": 0.10, \"abs\": 1},\n"
+        "    \"p99_us\": {\"rel\": 0.20, \"abs\": 10},\n"
+        "    \"io_retries\": {\"rel\": 0.30, \"abs\": 5},\n"
+        "    \"io_timeouts\": {\"rel\": 0.30, \"abs\": 3},\n"
+        "    \"dev_errors\": {\"rel\": 0.30, \"abs\": 5}\n"
+        "  }\n}\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_fault_sweep.json (%zu records)\n",
                 records.size());

@@ -10,12 +10,14 @@
  * three rebuild throttle settings (unthrottled, fixed-rate token
  * bucket, adaptive). An online rebuild competes with foreground writes
  * for device bandwidth; the throttle trades longer MTTR for a
- * foreground throughput floor. Emits BENCH_rebuild_mttr.json.
+ * foreground throughput floor. Emits BENCH_rebuild_mttr.json. The
+ * fixed-throttle run is telemetry-instrumented: --timeseries-out
+ * exports the per-interval CSV (rebuild write rate vs foreground
+ * rate, throttle stalls, per-device utilization).
  *
- *   bench_fig12_rebuild [--smoke]
+ *   bench_fig12_rebuild [--smoke] [--timeseries-out f.csv]
  */
 #include <cstdio>
-#include <cstring>
 
 #include "bench_util.h"
 
@@ -121,7 +123,7 @@ struct MttrRecord {
 
 MttrRecord
 run_mttr(const BenchScale &scale, const char *setting, uint64_t rate,
-         bool adaptive)
+         bool adaptive, const ObsOptions *oo = nullptr)
 {
     MttrRecord rec;
     rec.setting = setting;
@@ -133,6 +135,17 @@ run_mttr(const BenchScale &scale, const char *setting, uint64_t rate,
     uint64_t zc = arr.vol->zone_capacity();
     uint64_t fill = arr.vol->capacity() / 2 / zc * zc;
     prime_target(arr.loop.get(), &target, fill);
+
+    // Telemetry on the throttled online rebuild: the timeline starts
+    // after priming so the CSV window is the rebuild itself.
+    obs::MetricsRegistry reg;
+    std::unique_ptr<obs::Timeline> tl;
+    if (oo != nullptr) {
+        arr.vol->attach_observability(&reg, nullptr);
+        tl = make_timeline(*oo, arr.loop.get(), &reg);
+        arr.vol->install_timeline(tl.get());
+        tl->start();
+    }
 
     arr.vol->mark_device_failed(0);
     arr.devs[0]->replace();
@@ -172,6 +185,8 @@ run_mttr(const BenchScale &scale, const char *setting, uint64_t rate,
     rec.zones_rebuilt = arr.vol->stats().zones_rebuilt;
     rec.rebuilt_sectors =
         arr.devs[0]->stats().sectors_written - replaced_before;
+    if (oo != nullptr && tl != nullptr)
+        finish_timeline(*oo, tl.get(), std::string("mttr_") + setting);
     return rec;
 }
 
@@ -207,11 +222,10 @@ fg_baseline_mibs(const BenchScale &scale, uint64_t duration_ns)
 int
 main(int argc, char **argv)
 {
-    bool smoke = false;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0)
-            smoke = true;
-    }
+    ObsOptions oo;
+    if (!parse_obs_args(argc, argv, &oo))
+        return 2;
+    bool smoke = oo.smoke;
 
     print_header("Fig 12: time-to-repair vs valid data");
     std::printf("%-10s %14s %14s\n", "fill", "mdraid_TTR_s",
@@ -251,7 +265,7 @@ main(int argc, char **argv)
               unthrottled.mttr_s)
         : 0;
     uint64_t capped = rebuild_bw > 4 ? rebuild_bw / 4 : 1;
-    MttrRecord fixed = run_mttr(scale, "fixed", capped, false);
+    MttrRecord fixed = run_mttr(scale, "fixed", capped, false, &oo);
     MttrRecord adaptive = run_mttr(scale, "adaptive", capped, true);
     double baseline = fg_baseline_mibs(
         scale,
@@ -302,7 +316,18 @@ main(int argc, char **argv)
             (unsigned long long)r->rebuilt_sectors,
             i + 1 < 3 ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(
+        f,
+        "  ],\n"
+        "  \"tolerance\": {\n"
+        "    \"mttr_s\": {\"rel\": 0.15},\n"
+        "    \"fg_mibs\": {\"rel\": 0.15, \"abs\": 2},\n"
+        "    \"throttle_stalls\": {\"rel\": 0.5, \"abs\": 20},\n"
+        "    \"zones_rebuilt\": {\"abs\": 0},\n"
+        "    \"rebuilt_sectors\": {\"rel\": 0.05},\n"
+        "    \"fg_baseline_mibs\": {\"rel\": 0.10},\n"
+        "    \"rate_sectors_per_sec\": {\"rel\": 0.25}\n"
+        "  }\n}\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_rebuild_mttr.json (3 points)\n");
     return 0;

@@ -9,8 +9,9 @@
  * instrumented pass at the paper's default stripe-unit size records
  * every write stage (data, parity, partial-parity log, FUA flushes,
  * device commands), prints the per-stage latency breakdown, and — via
- * --metrics-out / --trace-out — exports the metrics registry and a
- * Chrome trace. --smoke skips the full sweep (ctest obs_smoke budget).
+ * --metrics-out / --trace-out / --timeseries-out — exports the
+ * metrics registry, a Chrome trace, and the per-interval telemetry
+ * CSV. --smoke skips the full sweep (ctest obs_smoke budget).
  */
 #include <cstdio>
 
@@ -75,12 +76,16 @@ instrumented_pass(const ObsOptions &oo)
     BenchObs obs;
     obs.opts = oo;
     arr.vol->attach_observability(&obs.registry, &obs.trace);
+    auto tl = make_timeline(oo, arr.loop.get(), &obs.registry);
+    arr.vol->install_timeline(tl.get());
+    tl->start();
     RaiznTarget target(arr.vol.get());
     uint64_t zone_cap = arr.vol->zone_capacity();
 
     WorkloadPoint wr = run_seq(arr.loop.get(), &target, RwMode::kSeqWrite,
                                16, zone_cap);
     WorkloadPoint rd = run_rand_read(arr.loop.get(), &target, 16);
+    finish_timeline(oo, tl.get());
     std::printf("seq write 64K: %.0f MiB/s p50=%.1fus p99.9=%.1fus\n",
                 wr.mibs, wr.p50_us, wr.p999_us);
     std::printf("rand read 64K: %.0f MiB/s p50=%.1fus p99.9=%.1fus\n",

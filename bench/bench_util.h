@@ -7,11 +7,15 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "obs/anomaly.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "wkld/runner.h"
 #include "wkld/setup.h"
@@ -20,11 +24,15 @@
 namespace raizn::bench {
 
 /// Observability flags shared by the benches: --metrics-out <path>
-/// writes the registry JSON, --trace-out <path> the Chrome trace, and
-/// --smoke bounds the run for ctest.
+/// writes the registry JSON, --trace-out <path> the Chrome trace,
+/// --timeseries-out <path> per-interval CSV rows of every metric
+/// (--timeseries-interval-ms sets the sampling period), and --smoke
+/// bounds the run for ctest.
 struct ObsOptions {
     std::string metrics_out;
     std::string trace_out;
+    std::string timeseries_out;
+    uint64_t timeseries_interval_ms = 100;
     bool smoke = false;
 };
 
@@ -42,17 +50,72 @@ parse_obs_args(int argc, char **argv, ObsOptions *out)
             out->metrics_out = argv[++i];
         } else if (a == "--trace-out" && i + 1 < argc) {
             out->trace_out = argv[++i];
+        } else if (a == "--timeseries-out" && i + 1 < argc) {
+            out->timeseries_out = argv[++i];
+        } else if (a == "--timeseries-interval-ms" && i + 1 < argc) {
+            out->timeseries_interval_ms =
+                std::strtoull(argv[++i], nullptr, 10);
+            if (out->timeseries_interval_ms == 0)
+                out->timeseries_interval_ms = 100;
         } else if (a == "--smoke") {
             out->smoke = true;
         } else {
             std::fprintf(stderr,
                          "usage: %s [--metrics-out m.json] "
-                         "[--trace-out t.json] [--smoke]\n",
+                         "[--trace-out t.json] "
+                         "[--timeseries-out t.csv] "
+                         "[--timeseries-interval-ms N] [--smoke]\n",
                          argv[0]);
             return false;
         }
     }
     return true;
+}
+
+/// Inserts ".tag" before the path's extension ("a/b.csv", "md" ->
+/// "a/b.md.csv"), so one --timeseries-out flag can name several runs.
+inline std::string
+path_with_tag(const std::string &path, const std::string &tag)
+{
+    size_t slash = path.find_last_of('/');
+    size_t dot = path.find_last_of('.');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + "." + tag;
+    }
+    return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+/// Builds a Timeline for one bench run's loop at the configured
+/// interval (caller wires probes/detector and calls start()).
+inline std::unique_ptr<obs::Timeline>
+make_timeline(const ObsOptions &oo, EventLoop *loop,
+              obs::MetricsRegistry *reg)
+{
+    obs::TimelineConfig cfg;
+    cfg.interval = oo.timeseries_interval_ms * kNsPerMs;
+    // Benches keep every row: 1<<16 rows outlives any bench run.
+    cfg.capacity = 1 << 16;
+    return std::make_unique<obs::Timeline>(loop, reg, cfg);
+}
+
+/// Flushes the final partial interval and writes the CSV when
+/// --timeseries-out was given (with `tag` when non-empty).
+inline void
+finish_timeline(const ObsOptions &oo, obs::Timeline *tl,
+                const std::string &tag = "")
+{
+    tl->sample_now();
+    tl->stop();
+    if (oo.timeseries_out.empty())
+        return;
+    std::string path = tag.empty()
+        ? oo.timeseries_out
+        : path_with_tag(oo.timeseries_out, tag);
+    Status s = tl->write_csv(path);
+    std::printf("timeseries csv: %s (%zu rows x %zu cols)%s\n",
+                path.c_str(), tl->size(), tl->columns().size(),
+                s.is_ok() ? "" : (" FAILED: " + s.to_string()).c_str());
 }
 
 /// Registry + trace ring for one instrumented bench pass, plus the

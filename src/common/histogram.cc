@@ -53,6 +53,8 @@ Histogram::add(uint64_t value)
     sum_ += value;
     min_ = std::min(min_, value);
     max_ = std::max(max_, value);
+    win_min_ = std::min(win_min_, value);
+    win_max_ = std::max(win_max_, value);
 }
 
 void
@@ -64,6 +66,10 @@ Histogram::merge(const Histogram &other)
     sum_ += other.sum_;
     min_ = std::min(min_, other.min_);
     max_ = std::max(max_, other.max_);
+    if (other.count_ > 0) {
+        win_min_ = std::min(win_min_, other.min_);
+        win_max_ = std::max(win_max_, other.max_);
+    }
 }
 
 void
@@ -74,6 +80,67 @@ Histogram::clear()
     sum_ = 0;
     min_ = UINT64_MAX;
     max_ = 0;
+    win_base_buckets_.clear();
+    win_base_count_ = 0;
+    win_base_sum_ = 0;
+    win_min_ = UINT64_MAX;
+    win_max_ = 0;
+}
+
+Histogram
+Histogram::window()
+{
+    Histogram w;
+    for (size_t i = 0; i < buckets_.size(); ++i) {
+        uint64_t base =
+            i < win_base_buckets_.size() ? win_base_buckets_[i] : 0;
+        w.buckets_[i] = buckets_[i] - base;
+    }
+    w.count_ = count_ - win_base_count_;
+    w.sum_ = sum_ - win_base_sum_;
+    if (w.count_ > 0) {
+        w.min_ = win_min_;
+        w.max_ = win_max_;
+        w.win_min_ = win_min_;
+        w.win_max_ = win_max_;
+    }
+    win_base_buckets_ = buckets_;
+    win_base_count_ = count_;
+    win_base_sum_ = sum_;
+    win_min_ = UINT64_MAX;
+    win_max_ = 0;
+    return w;
+}
+
+Histogram
+Histogram::delta(const Histogram &cur, const Histogram &prev)
+{
+    if (cur.count_ < prev.count_)
+        return cur; // cur was cleared since prev was snapshotted
+    Histogram d;
+    int lo_bucket = -1, hi_bucket = -1;
+    for (size_t i = 0; i < cur.buckets_.size(); ++i) {
+        uint64_t n = cur.buckets_[i] - prev.buckets_[i];
+        if (n == 0)
+            continue;
+        d.buckets_[i] = n;
+        if (lo_bucket < 0)
+            lo_bucket = static_cast<int>(i);
+        hi_bucket = static_cast<int>(i);
+    }
+    d.count_ = cur.count_ - prev.count_;
+    d.sum_ = cur.sum_ - prev.sum_;
+    if (d.count_ > 0 && lo_bucket >= 0) {
+        // min/max at bucket precision, clamped into the cumulative
+        // histogram's observed range.
+        d.min_ = std::max(bucket_lower_bound(lo_bucket), cur.min());
+        d.max_ = std::min(bucket_upper_bound(hi_bucket) - 1, cur.max());
+        if (d.min_ > d.max_)
+            d.min_ = d.max_;
+        d.win_min_ = d.min_;
+        d.win_max_ = d.max_;
+    }
+    return d;
 }
 
 double

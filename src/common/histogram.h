@@ -43,6 +43,28 @@ class Histogram
     /// One-line summary ("n=... mean=...us p50=...us p99.9=...us").
     std::string summary_us() const;
 
+    /**
+     * Snapshot-and-reset of the *window*, not the histogram: returns a
+     * histogram holding exactly the samples added since the previous
+     * window() call (or construction), then starts a new window. The
+     * cumulative state is untouched, so callers can keep whole-run
+     * percentiles and per-interval percentiles from the same instance.
+     * The window's min/max are exact (tracked per-sample).
+     */
+    Histogram window();
+
+    /**
+     * Samples present in `cur` but not in `prev`, where `prev` is an
+     * earlier copy of the same histogram (bucket-wise subtraction).
+     * This is how the timeline windows *read-only* histograms it does
+     * not own: keep the previous snapshot, diff per interval. min/max
+     * are approximated by the bounds of the extreme changed buckets
+     * (within the histogram's ~1.6% bucket error). If `cur` was
+     * cleared since `prev` was taken (count went backwards), returns a
+     * copy of `cur`.
+     */
+    static Histogram delta(const Histogram &cur, const Histogram &prev);
+
   private:
     static constexpr int kSubBucketBits = 6; // 64 sub-buckets
     static constexpr int kSubBuckets = 1 << kSubBucketBits;
@@ -57,6 +79,15 @@ class Histogram
     uint64_t sum_ = 0;
     uint64_t min_ = UINT64_MAX;
     uint64_t max_ = 0;
+
+    // Window baseline: cumulative state as of the last window() call.
+    // win_base_buckets_ is allocated lazily on the first window() so
+    // histograms that never use windows pay nothing extra.
+    std::vector<uint64_t> win_base_buckets_;
+    uint64_t win_base_count_ = 0;
+    uint64_t win_base_sum_ = 0;
+    uint64_t win_min_ = UINT64_MAX; ///< exact min/max within the window
+    uint64_t win_max_ = 0;
 };
 
 } // namespace raizn

@@ -6,9 +6,11 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "raizn/stripe_buffer.h" // xor_bytes, parity_byte_range
 #include "sim/event_loop.h"
+#include "zns/conv_device.h"
 
 namespace raizn {
 
@@ -105,6 +107,7 @@ void
 MdVolume::attach_observability(obs::MetricsRegistry *reg,
                                obs::TraceRecorder *trace)
 {
+    reg_ = reg;
     trace_ = trace;
     dev_obs_.clear();
     write_lat_ = nullptr;
@@ -123,6 +126,39 @@ MdVolume::attach_observability(obs::MetricsRegistry *reg,
         dev_obs_[d].flush_ns = reg->latency(prefix + ".flush_ns");
         dev_obs_[d].other_ns = reg->latency(prefix + ".other_ns");
     }
+}
+
+void
+MdVolume::install_timeline(obs::Timeline *tl)
+{
+    if (tl == nullptr || reg_ == nullptr)
+        return;
+    obs::Gauge *cache = reg_->gauge("mdraid.gauge.cache_stripes");
+    struct FtlGauges {
+        obs::Gauge *free_blocks;
+        obs::Gauge *op_used_pct;
+        obs::Gauge *gc_active;
+    };
+    std::vector<FtlGauges> ftl;
+    for (uint32_t d = 0; d < devs_.size(); ++d) {
+        std::string prefix = strprintf("mdraid.dev%u.ftl", d);
+        ftl.push_back({reg_->gauge(prefix + ".free_blocks"),
+                       reg_->gauge(prefix + ".op_used_pct"),
+                       reg_->gauge(prefix + ".gc_active")});
+    }
+    tl->add_probe([this, cache, ftl = std::move(ftl)] {
+        cache->set(cache_->size());
+        // Re-resolved per sample: promote_spare swaps pointers, and a
+        // member may be a decorator that is not a ConvDevice.
+        for (uint32_t d = 0; d < devs_.size(); ++d) {
+            auto *cd = dynamic_cast<ConvDevice *>(devs_[d]);
+            if (cd == nullptr)
+                continue;
+            ftl[d].free_blocks->set(cd->ftl().free_blocks());
+            ftl[d].op_used_pct->set(cd->ftl().op_used_pct());
+            ftl[d].gc_active->set(cd->ftl().gc_active() ? 1 : 0);
+        }
+    });
 }
 
 void

@@ -26,6 +26,7 @@ namespace obs {
 class MetricsRegistry;
 class TraceRecorder;
 class LatencyMetric;
+class Timeline;
 } // namespace obs
 
 class EventLoop;
@@ -154,6 +155,17 @@ class MdVolume
     void attach_observability(obs::MetricsRegistry *reg,
                               obs::TraceRecorder *trace);
 
+    /**
+     * Registers gauge-refresh probes on `tl`: per-device FTL state
+     * under "mdraid.dev<i>.ftl.*" (free_blocks, op_used_pct,
+     * gc_active) for members that are conventional devices — the
+     * over-provisioning burn-down behind Fig. 10's collapse — plus
+     * the stripe-cache occupancy under "mdraid.gauge.cache_stripes".
+     * Requires attach_observability(reg, ...) first; call before
+     * tl->start().
+     */
+    void install_timeline(obs::Timeline *tl);
+
     const MdVolumeStats &stats() const { return stats_; }
     const StripeCache &cache() const { return *cache_; }
 
@@ -217,6 +229,7 @@ class MdVolume
 
     // Observability (src/obs): null when detached. Handles resolved
     // once in attach_observability — no per-op name lookups.
+    obs::MetricsRegistry *reg_ = nullptr;
     obs::TraceRecorder *trace_ = nullptr;
     struct DevObs {
         obs::LatencyMetric *read_ns = nullptr;

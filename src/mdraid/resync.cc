@@ -10,6 +10,7 @@
 
 #include "common/logging.h"
 #include "mdraid/md_volume.h"
+#include "obs/trace.h"
 #include "raizn/stripe_buffer.h" // xor_bytes
 #include "sim/event_loop.h"
 
@@ -28,6 +29,10 @@ struct ResyncJob {
     MdVolume::StatusCb done;
     bool finished = false;
     bool throttle_armed = false; ///< refill wake-up already scheduled
+
+    // Trace correlation (0 = tracing detached).
+    uint64_t trace_req = 0;
+    uint64_t total_token = 0; ///< open "resync.device" span
 
     static constexpr uint64_t kWindow = 32;
 };
@@ -52,6 +57,12 @@ MdVolume::resync_device(uint32_t dev,
     job->nchunks = devs_[dev]->geometry().nsectors / cfg_.chunk_sectors;
     job->progress = std::move(progress);
     job->done = std::move(done);
+    if (trace_ != nullptr) {
+        job->trace_req = trace_->next_request_id();
+        job->total_token = trace_->begin_span(
+            "resync.device", job->trace_req, obs::kTrackMetadata,
+            loop_->now());
+    }
 
     // Online resync: a configured rate caps resync traffic so degraded
     // foreground service keeps its floor (adaptive mode additionally
@@ -107,6 +118,8 @@ MdVolume::resync_device(uint32_t dev,
                 req.op = IoOp::kWrite;
                 req.slba = chunk_pba(stripe);
                 req.nsectors = cfg_.chunk_sectors;
+                req.trace_req = job->trace_req;
+                req.trace_stage = "resync.write";
                 if (store_data_)
                     req.data = std::move(acc->data);
                 dev_submit(
@@ -127,6 +140,11 @@ MdVolume::resync_device(uint32_t dev,
                             failed_dev_ = -1;
                             resyncing_ = false;
                             throttle_.reset();
+                            if (trace_ != nullptr &&
+                                job->total_token != 0) {
+                                trace_->end_span(job->total_token,
+                                                 loop_->now());
+                            }
                             auto done = std::move(job->done);
                             done(job->status);
                             // Break the pump's self-reference cycle.
@@ -151,10 +169,11 @@ MdVolume::resync_device(uint32_t dev,
                 if (d == job->dev)
                     continue;
                 acc->pending++;
-                dev_submit(d,
-                           IoRequest::read(chunk_pba(stripe),
-                                           cfg_.chunk_sectors),
-                           one);
+                IoRequest rreq = IoRequest::read(chunk_pba(stripe),
+                                                 cfg_.chunk_sectors);
+                rreq.trace_req = job->trace_req;
+                rreq.trace_stage = "resync.read";
+                dev_submit(d, std::move(rreq), one);
             }
             acc->issued_all = true;
         }

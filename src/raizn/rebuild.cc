@@ -29,6 +29,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "raizn/volume_impl.h"
 #include "sim/event_loop.h"
 
@@ -64,6 +65,11 @@ struct RebuildJob {
     uint64_t last_data_stripe = 0;
     /// A throttle wake-up is already scheduled.
     bool throttle_armed = false;
+
+    // Trace correlation (0 = tracing detached).
+    uint64_t trace_req = 0;   ///< request id shared by every sub-span
+    uint64_t total_token = 0; ///< open "rebuild.device" span
+    uint64_t zone_token = 0;  ///< open "rebuild.zone" span
 
     static constexpr uint64_t kWindow = 32;
 };
@@ -169,6 +175,10 @@ RaiznVolume::persist_rebuild_checkpoint(uint32_t dev, uint32_t state,
                     });
     }
     stats_.rebuild_checkpoints++;
+    if (trace_ != nullptr) {
+        trace_->instant("rebuild.checkpoint", 0, obs::kTrackMetadata,
+                        loop_->now());
+    }
     if (wait)
         loop_->run_until_pred([pending] { return *pending == 0; });
 }
@@ -376,6 +386,12 @@ RaiznVolume::rebuild_device_internal(uint32_t dev, bool resume,
     job->dev = dev;
     job->progress = std::move(progress);
     job->done = std::move(done);
+    if (trace_ != nullptr) {
+        job->trace_req = trace_->next_request_id();
+        job->total_token = trace_->begin_span(
+            "rebuild.device", job->trace_req, obs::kTrackMetadata,
+            loop_->now());
+    }
 
     // Active (open/closed) zones first, then full zones; empty and
     // resume-verified zones need no work (§4.2).
@@ -413,6 +429,8 @@ RaiznVolume::rebuild_device_internal(uint32_t dev, bool resume,
         persist_rebuild_checkpoint(job->dev,
                                    RebuildCheckpointRecord::kDone, ~0u,
                                    /*wait=*/false);
+        if (trace_ != nullptr && job->total_token != 0)
+            trace_->end_span(job->total_token, loop_->now());
         auto done = std::move(job->done);
         done(job->status);
     };
@@ -420,6 +438,10 @@ RaiznVolume::rebuild_device_internal(uint32_t dev, bool resume,
     auto complete_zone = [this, pump,
                           finish_job](std::shared_ptr<RebuildJob> job) {
         LZone &lz = zones_[job->zone];
+        if (trace_ != nullptr && job->zone_token != 0) {
+            trace_->end_span(job->zone_token, loop_->now());
+            job->zone_token = 0;
+        }
         // Re-log partial parity for the tail stripe if this device is
         // its parity holder (the old device's parity log is gone).
         relog_tail_pp(job->dev, job->zone);
@@ -459,6 +481,11 @@ RaiznVolume::rebuild_device_internal(uint32_t dev, bool resume,
             job->ready.clear();
             job->inflight_writes = 0;
             job->zone_active = true;
+            if (trace_ != nullptr) {
+                job->zone_token = trace_->begin_span(
+                    "rebuild.zone", job->trace_req, obs::kTrackMetadata,
+                    loop_->now());
+            }
         }
 
         const uint32_t su = cfg_.su_sectors;
@@ -514,10 +541,17 @@ RaiznVolume::rebuild_device_internal(uint32_t dev, bool resume,
             job->next_issue++;
             int pos = layout_->data_pos_of_dev(job->zone, s, job->dev);
             job->ready[s] = {false, {}};
+            uint64_t rtok = trace_ != nullptr
+                ? trace_->begin_span("rebuild.reconstruct",
+                                     job->trace_req, obs::kTrackMetadata,
+                                     loop_->now())
+                : 0;
             reconstruct_stripe_unit(
                 job->zone, s, pos, 0, len,
-                [this, job, s, pump](Status st,
-                                     std::vector<uint8_t> data) {
+                [this, job, s, pump, rtok](Status st,
+                                           std::vector<uint8_t> data) {
+                    if (trace_ != nullptr && rtok != 0)
+                        trace_->end_span(rtok, loop_->now());
                     if (!st.is_ok() && job->status.is_ok())
                         job->status = st;
                     job->ready[s] = {true, std::move(data)};
@@ -549,8 +583,17 @@ RaiznVolume::rebuild_device_internal(uint32_t dev, bool resume,
             }
             job->inflight_writes++;
             stats_.stripes_rebuilt++;
+            // Target writes bypass dev_submit (no retry against a
+            // fresh replacement), so the device-track span is explicit.
+            uint64_t wtok = trace_ != nullptr
+                ? trace_->begin_span("rebuild.write", job->trace_req,
+                                     obs::kTrackDevBase + job->dev,
+                                     loop_->now())
+                : 0;
             devs_[job->dev]->submit(
-                std::move(req), [this, job, pump](IoResult r) {
+                std::move(req), [this, job, pump, wtok](IoResult r) {
+                    if (trace_ != nullptr && wtok != 0)
+                        trace_->end_span(wtok, loop_->now());
                     if (!r.status.is_ok() && job->status.is_ok())
                         job->status = r.status;
                     job->inflight_writes--;

@@ -25,6 +25,7 @@
 
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 #include "raizn/stripe_buffer.h"
 #include "sim/event_loop.h"
 
@@ -102,13 +103,25 @@ RaiznVolume::scrub_stripe(uint32_t zone, uint64_t stripe, ScrubReport *rep,
         std::vector<std::vector<uint8_t>> units;
         std::vector<uint8_t> parity;
         std::function<void()> done;
+        uint64_t trace_req = 0;
+        uint64_t token = 0; ///< open "scrub.stripe" span
     };
     auto ctx = std::make_shared<ScrubCtx>();
     ctx->remaining = D + 1;
     ctx->units.resize(D);
     ctx->done = std::move(done);
+    if (trace_ != nullptr) {
+        ctx->trace_req = trace_->next_request_id();
+        ctx->token = trace_->begin_span("scrub.stripe", ctx->trace_req,
+                                        obs::kTrackMetadata,
+                                        loop_->now());
+    }
 
     auto finish = [this, ctx, zone, stripe, rep, gen0, su, D] {
+        if (trace_ != nullptr && ctx->token != 0) {
+            trace_->end_span(ctx->token, loop_->now());
+            ctx->token = 0;
+        }
         if (gen_.get(zone) != gen0 || zones_[zone].blocked ||
             stripe_displaced(zone, stripe)) {
             // The zone was reset or the stripe moved under the scrub
@@ -243,14 +256,20 @@ RaiznVolume::scrub_stripe(uint32_t zone, uint64_t stripe, ScrubReport *rep,
         uint32_t dev = layout_->data_dev(zone, stripe, k);
         ctx->units[k].reserve(static_cast<size_t>(su) * kSectorSize);
         auto *into = &ctx->units[k];
-        dev_submit(dev, IoRequest::read(slot, su),
+        IoRequest rreq = IoRequest::read(slot, su);
+        rreq.trace_req = ctx->trace_req;
+        rreq.trace_stage = "scrub.read";
+        dev_submit(dev, std::move(rreq),
                    [one_done, into](IoResult r) {
                        one_done(into, std::move(r));
                    });
     }
     uint32_t pdev = layout_->parity_dev(zone, stripe);
     ctx->parity.reserve(static_cast<size_t>(su) * kSectorSize);
-    dev_submit(pdev, IoRequest::read(slot, su),
+    IoRequest preq = IoRequest::read(slot, su);
+    preq.trace_req = ctx->trace_req;
+    preq.trace_stage = "scrub.read";
+    dev_submit(pdev, std::move(preq),
                [one_done, ctx](IoResult r) {
                    one_done(&ctx->parity, std::move(r));
                });
@@ -266,6 +285,10 @@ RaiznVolume::scrub_repair_unit(uint32_t zone, uint64_t stripe, uint32_t k,
     // every subsequent read, and recovery replays the record.
     stats_.read_repairs++;
     stats_.relocated_writes++;
+    if (trace_ != nullptr) {
+        trace_->instant("scrub.repair_unit", 0, obs::kTrackMetadata,
+                        loop_->now());
+    }
     zones_[zone].has_reloc = true;
     const uint32_t su = cfg_.su_sectors;
     uint32_t dev = layout_->data_dev(zone, stripe, k);
@@ -311,6 +334,10 @@ RaiznVolume::scrub_repair_parity(uint32_t zone, uint64_t stripe,
     // (zone, stripe) and shadows the corrupt physical slot.
     stats_.read_repairs++;
     stats_.relocated_writes++;
+    if (trace_ != nullptr) {
+        trace_->instant("scrub.repair_parity", 0, obs::kTrackMetadata,
+                        loop_->now());
+    }
     uint32_t dev = layout_->parity_dev(zone, stripe);
 
     MdAppend app;

@@ -1,14 +1,17 @@
 #include "raizn/volume_impl.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cstring>
 
 #include "common/crc32.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "sim/event_loop.h"
+#include "zns/zns_device.h"
 
 namespace raizn {
 
@@ -115,6 +118,70 @@ RaiznVolume::attach_observability(obs::MetricsRegistry *reg,
         obs::link_stats(*reg, strprintf("raizn.health.dev%u", d),
                         health_->device(d));
     }
+}
+
+size_t
+RaiznVolume::open_stripe_buffers() const
+{
+    size_t n = 0;
+    for (const LZone &z : zones_)
+        n += z.buffers.size();
+    return n;
+}
+
+size_t
+RaiznVolume::pp_backlog() const
+{
+    size_t n = 0;
+    for (const auto &[key, records] : pp_index_)
+        n += records.size();
+    return n;
+}
+
+size_t
+RaiznVolume::reloc_backlog() const
+{
+    return reloc_.size() + parity_reloc_.size();
+}
+
+void
+RaiznVolume::install_timeline(obs::Timeline *tl)
+{
+    if (tl == nullptr || reg_ == nullptr)
+        return;
+    obs::Gauge *buffers = reg_->gauge("raizn.gauge.stripe_buffers");
+    obs::Gauge *pp = reg_->gauge("raizn.gauge.pp_records");
+    obs::Gauge *reloc = reg_->gauge("raizn.gauge.reloc_entries");
+    obs::Gauge *open_zones = reg_->gauge("raizn.gauge.open_zones");
+    std::vector<std::array<obs::Gauge *, 4>> census;
+    for (uint32_t d = 0; d < devs_.size(); ++d) {
+        std::string prefix = strprintf("zns.dev%u", d);
+        census.push_back({reg_->gauge(prefix + ".zones_empty"),
+                          reg_->gauge(prefix + ".zones_open"),
+                          reg_->gauge(prefix + ".zones_closed"),
+                          reg_->gauge(prefix + ".zones_full")});
+    }
+    tl->add_probe([this, buffers, pp, reloc, open_zones,
+                   census = std::move(census)] {
+        buffers->set(open_stripe_buffers());
+        pp->set(pp_backlog());
+        reloc->set(reloc_backlog());
+        open_zones->set(open_zones_);
+        // Re-resolve each sample: promote_spare can swap device
+        // pointers mid-run, and a member may be a decorator that is
+        // not a ZnsDevice (census gauges then stay at their last
+        // value).
+        for (uint32_t d = 0; d < devs_.size(); ++d) {
+            auto *zd = dynamic_cast<ZnsDevice *>(devs_[d]);
+            if (zd == nullptr)
+                continue;
+            ZnsDevice::ZoneCensus c = zd->zone_census();
+            census[d][0]->set(c.empty);
+            census[d][1]->set(c.open);
+            census[d][2]->set(c.closed);
+            census[d][3]->set(c.full);
+        }
+    });
 }
 
 namespace {

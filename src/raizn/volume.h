@@ -39,6 +39,7 @@ namespace obs {
 class MetricsRegistry;
 class TraceRecorder;
 class LatencyMetric;
+class Timeline;
 } // namespace obs
 
 class EventLoop;
@@ -312,6 +313,24 @@ class RaiznVolume
     void attach_observability(obs::MetricsRegistry *reg,
                               obs::TraceRecorder *trace);
     obs::TraceRecorder *trace_recorder() const { return trace_; }
+
+    // Point-in-time backlog views (timeline gauges).
+    /// Stripe buffers currently held across open logical zones.
+    size_t open_stripe_buffers() const;
+    /// Partial-parity log records indexed for degraded reconstruction.
+    size_t pp_backlog() const;
+    /// Relocated data + parity extents currently tracked.
+    size_t reloc_backlog() const;
+
+    /**
+     * Registers gauge-refresh probes on `tl`: stripe-buffer / pp-log /
+     * relocation backlog occupancy and the open-zone count under
+     * "raizn.gauge.*", plus a per-device zone-state census
+     * ("zns.dev<i>.zones_{empty,open,closed,full}") for members that
+     * are ZNS devices. Requires attach_observability(reg, ...) first
+     * (the gauges live in that registry); call before tl->start().
+     */
+    void install_timeline(obs::Timeline *tl);
 
     // ---- Introspection ---------------------------------------------
     const VolumeStats &stats() const { return stats_; }

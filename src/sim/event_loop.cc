@@ -11,7 +11,11 @@ EventLoop::schedule_at(Tick when, Callback fn)
     assert(fn);
     if (when < now_)
         when = now_; // never schedule into the past
+    stats_.events_scheduled++;
+    sched_delay_ns_.add(when - now_);
     queue_.push(Event{when, next_seq_++, std::move(fn)});
+    if (queue_.size() > stats_.max_pending)
+        stats_.max_pending = queue_.size();
 }
 
 bool
@@ -25,10 +29,15 @@ EventLoop::pop_and_run()
     queue_.pop();
     assert(ev.when >= now_);
     now_ = ev.when;
-    processed_++;
+    stats_.events_processed++;
     if (observer_)
         observer_(ev.when, ev.seq);
     ev.fn();
+    // After the callback, so a row stamped at boundary B reflects all
+    // work dispatched at ticks <= B (the callback may have cleared the
+    // probe, hence the re-check).
+    if (probe_)
+        probe_(now_);
     return true;
 }
 

@@ -15,9 +15,34 @@
 #include <queue>
 #include <vector>
 
+#include "common/histogram.h"
 #include "common/units.h"
 
 namespace raizn {
+
+/**
+ * Scheduling counters for the loop. Every in-flight IO, timer, and
+ * callback in the simulation is a queued event, so queue depth is the
+ * system-wide in-flight depth and the schedule delay (when - now at
+ * schedule time) is each event's queue-wait attribution on the virtual
+ * clock.
+ */
+struct EventLoopStats {
+    uint64_t events_scheduled = 0;
+    uint64_t events_processed = 0;
+    uint64_t max_pending = 0; ///< high-water mark of the queue depth
+
+    /// Name/value enumeration — single source of truth for metrics-
+    /// registry linkage (obs::link_stats) and rendering.
+    template <typename Fn>
+    void
+    for_each_field(Fn fn) const
+    {
+        fn("events_scheduled", events_scheduled);
+        fn("events_processed", events_processed);
+        fn("max_pending", max_pending);
+    }
+};
 
 class EventLoop
 {
@@ -25,6 +50,8 @@ class EventLoop
     using Callback = std::function<void()>;
     /// Observes every dispatched event: (tick, schedule sequence number).
     using Observer = std::function<void(Tick, uint64_t)>;
+    /// Lightweight dispatch hook for samplers (see set_probe).
+    using Probe = std::function<void(Tick)>;
 
     EventLoop() = default;
     EventLoop(const EventLoop &) = delete;
@@ -59,7 +86,14 @@ class EventLoop
 
     bool empty() const { return queue_.empty(); }
     size_t pending() const { return queue_.size(); }
-    uint64_t events_processed() const { return processed_; }
+    uint64_t events_processed() const { return stats_.events_processed; }
+
+    /// Cumulative scheduling counters (stable address for linkage).
+    const EventLoopStats &stats() const { return stats_; }
+    /// Distribution of (when - now) at schedule time, in ns: how far
+    /// into the future each event was queued (device service delays,
+    /// timer waits). Stable address; link via obs::link_histogram.
+    const Histogram &sched_delay_hist() const { return sched_delay_ns_; }
 
     /**
      * Installs a per-event dispatch hook (pass nullptr to remove). The
@@ -70,6 +104,18 @@ class EventLoop
      * replay followed the recorded schedule.
      */
     void set_observer(Observer obs) { observer_ = std::move(obs); }
+
+    /**
+     * Installs a sampling hook (pass nullptr to remove), independent of
+     * the observer slot so the crash-point explorer and a timeline
+     * sampler can coexist. Fires once per dispatched event, after the
+     * event's callback runs, so a sample taken at a boundary reflects
+     * all work dispatched at ticks up to and including it. The probe
+     * must not schedule events or mutate simulation state — it exists
+     * so a sampler can notice virtual-time boundaries lazily without
+     * keeping the queue artificially non-empty.
+     */
+    void set_probe(Probe p) { probe_ = std::move(p); }
 
     /// Advances the clock with no event (e.g. idle gaps in workloads).
     void
@@ -100,8 +146,10 @@ class EventLoop
     std::priority_queue<Event, std::vector<Event>, Later> queue_;
     Tick now_ = 0;
     uint64_t next_seq_ = 0;
-    uint64_t processed_ = 0;
+    EventLoopStats stats_;
+    Histogram sched_delay_ns_;
     Observer observer_;
+    Probe probe_;
 };
 
 } // namespace raizn

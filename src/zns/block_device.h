@@ -162,6 +162,11 @@ struct DeviceStats {
     uint64_t gc_page_copies = 0; ///< FTL GC relocations (conventional)
     uint64_t gc_erases = 0;
     uint64_t errors = 0;
+    /// Total service-unit busy time (ns of virtual time summed across
+    /// the device's parallel units). Utilization over an interval is
+    /// rate(busy_ns) / (units * 1e9); a fully saturated 8-unit device
+    /// accrues 8 busy seconds per wall second.
+    uint64_t busy_ns = 0;
 
     /// Name/value enumeration — single source of truth for metrics-
     /// registry linkage (obs::link_stats) and rendering.
@@ -179,6 +184,7 @@ struct DeviceStats {
         fn("gc_page_copies", gc_page_copies);
         fn("gc_erases", gc_erases);
         fn("errors", errors);
+        fn("busy_ns", busy_ns);
     }
 };
 

@@ -16,6 +16,7 @@ ConvDevice::ConvDevice(EventLoop *loop, ConvDeviceConfig config)
     geom_.atomic_write_sectors = 16;
 
     timing_ = std::make_unique<TimingModel>(*loop_, config_.timing);
+    timing_->set_busy_accumulator(&stats_.busy_ns);
     FtlConfig fcfg;
     fcfg.user_pages = config_.nsectors;
     fcfg.op_ratio = config_.op_ratio;
@@ -166,6 +167,7 @@ ConvDevice::reattach(EventLoop *loop)
     loop_ = loop;
     epoch_++;
     timing_ = std::make_unique<TimingModel>(*loop_, config_.timing);
+    timing_->set_busy_accumulator(&stats_.busy_ns);
 }
 
 void

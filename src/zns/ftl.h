@@ -61,6 +61,28 @@ class Ftl
     /// Cumulative write amplification (flash programs / host writes).
     double write_amplification() const;
 
+    /// Physical blocks beyond the advertised user capacity: the
+    /// over-provisioning pool the FTL burns down before GC kicks in.
+    uint64_t op_blocks() const
+    {
+        uint64_t user_blocks =
+            (cfg_.user_pages + cfg_.pages_per_block - 1) /
+            cfg_.pages_per_block;
+        return nblocks_ > user_blocks ? nblocks_ - user_blocks : 0;
+    }
+
+    /**
+     * Fraction of physical space currently consumed (no free block
+     * behind it), in percent [0, 100]. Crosses toward 100 as the OP
+     * pool exhausts — the leading indicator of the Fig. 10 collapse.
+     */
+    uint64_t op_used_pct() const
+    {
+        if (nblocks_ == 0)
+            return 0;
+        return 100 - free_list_.size() * 100 / nblocks_;
+    }
+
     /// True while the device is in the GC regime (free <= low mark).
     bool gc_active() const
     {

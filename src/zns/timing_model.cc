@@ -60,6 +60,8 @@ TimingModel::occupy(Tick service)
     Tick start = std::max(loop_.now(), *it);
     Tick done = start + service;
     *it = done;
+    if (busy_acc_ != nullptr)
+        *busy_acc_ += service;
     return done;
 }
 

@@ -68,6 +68,13 @@ class TimingModel
     /// Earliest tick at which every unit is idle.
     Tick drain_tick() const;
 
+    /**
+     * Accumulates every unit-occupancy (service time, ns) into `*acc`.
+     * Devices point this at their DeviceStats::busy_ns so busy time
+     * survives the TimingModel being rebuilt on reattach/replace.
+     */
+    void set_busy_accumulator(uint64_t *acc) { busy_acc_ = acc; }
+
   private:
     Tick occupy(Tick service);
     Tick service_read(uint32_t nsectors) const;
@@ -76,6 +83,7 @@ class TimingModel
     EventLoop &loop_;
     TimingParams params_;
     std::vector<Tick> unit_free_; ///< per-unit next-free time
+    uint64_t *busy_acc_ = nullptr;
 };
 
 } // namespace raizn

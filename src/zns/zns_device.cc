@@ -28,6 +28,7 @@ ZnsDevice::ZnsDevice(EventLoop *loop, ZnsDeviceConfig config)
     geom_.atomic_write_sectors = config_.atomic_write_sectors;
 
     timing_ = std::make_unique<TimingModel>(*loop_, config_.timing);
+    timing_->set_busy_accumulator(&stats_.busy_ns);
     zones_.resize(config_.nzones);
     for (uint32_t i = 0; i < config_.nzones; ++i) {
         zones_[i].wp = static_cast<uint64_t>(i) * config_.zone_size;
@@ -519,6 +520,7 @@ ZnsDevice::reattach(EventLoop *loop)
 {
     loop_ = loop;
     timing_ = std::make_unique<TimingModel>(*loop_, config_.timing);
+    timing_->set_busy_accumulator(&stats_.busy_ns);
 }
 
 void
@@ -539,6 +541,23 @@ ZnsDevice::corrupt(uint64_t lba, uint32_t nsectors, uint64_t seed)
         for (size_t b = 0; b < kSectorSize; b += 64)
             p[b] ^= static_cast<uint8_t>(rng.next() | 1);
     }
+}
+
+ZnsDevice::ZoneCensus
+ZnsDevice::zone_census() const
+{
+    ZoneCensus c;
+    for (const Zone &z : zones_) {
+        switch (z.state) {
+          case ZoneState::kEmpty: c.empty++; break;
+          case ZoneState::kImplicitOpen:
+          case ZoneState::kExplicitOpen: c.open++; break;
+          case ZoneState::kClosed: c.closed++; break;
+          case ZoneState::kFull: c.full++; break;
+          default: c.other++; break;
+        }
+    }
+    return c;
 }
 
 void

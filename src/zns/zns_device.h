@@ -123,6 +123,16 @@ class ZnsDevice : public BlockDevice
     uint32_t open_zone_count() const { return open_count_; }
     uint32_t active_zone_count() const { return active_count_; }
 
+    /// Point-in-time zone-state counts (timeline gauges).
+    struct ZoneCensus {
+        uint32_t empty = 0;
+        uint32_t open = 0; ///< implicit + explicit
+        uint32_t closed = 0;
+        uint32_t full = 0;
+        uint32_t other = 0; ///< read-only / offline
+    };
+    ZoneCensus zone_census() const;
+
     /**
      * Installs a completion trace hook (pass nullptr to remove). Fires
      * as a command completes — after its durability/state effects have

@@ -7,9 +7,14 @@
  */
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
+
 #include "common/histogram.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "raizn/throttle.h"
+#include "raizn_test_util.h"
 
 namespace raizn::obs {
 namespace {
@@ -69,6 +74,77 @@ TEST(HistogramEdge, MergeIntoEmpty)
     a.merge(b);
     EXPECT_EQ(a.count(), 1u);
     EXPECT_EQ(a.max(), 42u);
+}
+
+// ---------------------------------------------------------------------
+// Window snapshots (the timeline's per-interval percentiles).
+
+TEST(HistogramEdge, WindowOfEmptyHistogramIsEmpty)
+{
+    Histogram h;
+    Histogram w = h.window();
+    EXPECT_EQ(w.count(), 0u);
+    EXPECT_EQ(w.min(), 0u);
+    EXPECT_EQ(w.max(), 0u);
+    EXPECT_EQ(w.p50(), 0u);
+}
+
+TEST(HistogramEdge, WindowSingleSampleHasExactMinMax)
+{
+    Histogram h;
+    h.add(12345);
+    Histogram w = h.window();
+    EXPECT_EQ(w.count(), 1u);
+    // Window min/max are tracked exactly, not bucket-rounded.
+    EXPECT_EQ(w.min(), 12345u);
+    EXPECT_EQ(w.max(), 12345u);
+    // The cumulative view is untouched by taking a window.
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 12345u);
+}
+
+TEST(HistogramEdge, WindowResetsSoNextWindowIsIndependent)
+{
+    Histogram h;
+    h.add(100);
+    h.add(200);
+    Histogram w1 = h.window();
+    EXPECT_EQ(w1.count(), 2u);
+    // Nothing recorded since: the next window is empty even though the
+    // cumulative histogram is not.
+    Histogram w2 = h.window();
+    EXPECT_EQ(w2.count(), 0u);
+    EXPECT_EQ(h.count(), 2u);
+
+    h.add(1000000);
+    Histogram w3 = h.window();
+    EXPECT_EQ(w3.count(), 1u);
+    EXPECT_EQ(w3.min(), 1000000u);
+    EXPECT_EQ(w3.max(), 1000000u);
+    EXPECT_GT(w3.p50(), 100000u)
+        << "window percentiles must not mix in pre-window samples";
+}
+
+TEST(HistogramEdge, DeltaOfSnapshotsMatchesWindow)
+{
+    Histogram h;
+    for (uint64_t v = 1; v <= 100; ++v)
+        h.add(v * 10);
+    Histogram prev = h; // timeline keeps a copy of the last snapshot
+    for (uint64_t v = 1; v <= 50; ++v)
+        h.add(v * 1000);
+    Histogram d = Histogram::delta(h, prev);
+    EXPECT_EQ(d.count(), 50u);
+    // Bucket-bounded min/max still bracket the true values.
+    EXPECT_LE(d.min(), 1000u);
+    EXPECT_GE(d.max(), 50000u * 90 / 100);
+
+    // A cleared/restarted source (count went backwards) falls back to
+    // the current cumulative view instead of a bogus negative diff.
+    Histogram fresh;
+    fresh.add(7);
+    Histogram d2 = Histogram::delta(fresh, prev);
+    EXPECT_EQ(d2.count(), 1u);
 }
 
 // ---------------------------------------------------------------------
@@ -287,6 +363,54 @@ TEST(TraceRecorder, RequestCoverageClampsToWindow)
     // Child exceeds the window on both sides; only [100,200) counts.
     tr.add_span("child", 1, kTrackDevBase, 50, 400);
     EXPECT_DOUBLE_EQ(tr.request_coverage(1, "total"), 1.0);
+}
+
+// ---------------------------------------------------------------------
+// Integration: a throttled rebuild's pump emits stage spans that
+// survive into the Chrome export — the triage artifact for Fig. 12
+// investigations.
+
+TEST(TraceRecorder, ThrottledRebuildSpansReachChromeExport)
+{
+    TestArray arr;
+    arr.make();
+    MetricsRegistry reg;
+    TraceRecorder trace;
+    arr.vol->attach_observability(&reg, &trace);
+
+    // Fill one logical zone so the rebuild has real work.
+    const uint64_t ss = 64; // su 16 × 4 data units
+    for (uint64_t s = 0; s < 8; ++s)
+        arr.write_pattern(s * ss, static_cast<uint32_t>(ss), s + 1);
+    arr.flush();
+
+    RaiznVolume::LifecycleConfig lc;
+    lc.auto_rebuild = false;
+    lc.throttle.rate_sectors_per_sec = 100000;
+    lc.throttle.burst_sectors = 32;
+    arr.vol->set_lifecycle(std::move(lc));
+
+    arr.vol->mark_device_failed(2);
+    arr.devs[2]->replace();
+    Status st = arr.rebuild(2);
+    ASSERT_TRUE(st.is_ok()) << st.to_string();
+    EXPECT_GT(arr.vol->stats().rebuild_throttle_stalls, 0u)
+        << "rebuild was not actually throttled";
+
+    std::set<std::string> stages;
+    for (const TraceSpan &sp : trace.spans())
+        stages.insert(sp.stage);
+    const char *want[] = {"rebuild.device", "rebuild.zone",
+                          "rebuild.reconstruct", "rebuild.write"};
+    for (const char *w : want)
+        EXPECT_EQ(stages.count(w), 1u) << "missing span: " << w;
+
+    std::string json = trace.to_chrome_json(arr.vol->num_devices());
+    for (const char *w : want)
+        EXPECT_NE(json.find(w), std::string::npos)
+            << "span absent from Chrome export: " << w;
+    EXPECT_NE(json.find("rebuild.checkpoint"), std::string::npos)
+        << "checkpoint instants absent from Chrome export";
 }
 
 } // namespace

@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Unit tests for time-series telemetry (src/obs/timeline) and SLO /
+ * anomaly detection (src/obs/anomaly): sampler cadence on the virtual
+ * clock, counter rate derivation, windowed latency percentiles, ring
+ * wraparound, gauge probes, and detector true/false-positive behavior
+ * on synthetic and simulated series.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/anomaly.h"
+#include "obs/metrics.h"
+#include "obs/timeline.h"
+#include "sim/event_loop.h"
+
+namespace raizn::obs {
+namespace {
+
+/// Schedules `n` ticks `spacing` apart, each running `fn(i)`.
+template <typename Fn>
+void
+drive(EventLoop &loop, uint64_t n, Tick spacing, Fn fn)
+{
+    for (uint64_t i = 0; i < n; ++i)
+        loop.schedule_after((i + 1) * spacing, [fn, i] { fn(i); });
+    loop.run();
+}
+
+TEST(Timeline, SamplerCadenceFollowsVirtualClock)
+{
+    EventLoop loop;
+    MetricsRegistry reg;
+    TimelineConfig cfg;
+    cfg.interval = 1000;
+    Timeline tl(&loop, &reg, cfg);
+    tl.start();
+
+    // 10 events 500 ns apart → virtual time reaches 5000 ns: rows at
+    // the 1000/2000/3000/4000/5000 boundaries.
+    drive(loop, 10, 500, [](uint64_t) {});
+    tl.sample_now(); // no-op: the last event landed on a boundary
+
+    ASSERT_EQ(tl.size(), 5u);
+    Tick expect = 1000;
+    for (const TimelineRow &row : tl.rows()) {
+        EXPECT_EQ(row.t, expect);
+        expect += 1000;
+    }
+}
+
+TEST(Timeline, SparseEventsStillStampBoundaries)
+{
+    EventLoop loop;
+    MetricsRegistry reg;
+    TimelineConfig cfg;
+    cfg.interval = 1000;
+    Timeline tl(&loop, &reg, cfg);
+    tl.start();
+
+    // One event at t=3500: several intervals elapsed unobserved. The
+    // row is stamped at the last crossed boundary (3000), not 3500.
+    loop.schedule_after(3500, [] {});
+    loop.run();
+    ASSERT_EQ(tl.size(), 1u);
+    EXPECT_EQ(tl.rows().front().t, 3000u);
+}
+
+TEST(Timeline, CounterRateDerivation)
+{
+    EventLoop loop;
+    MetricsRegistry reg;
+    Counter *c = reg.counter("test.ops");
+    TimelineConfig cfg;
+    cfg.interval = 1000 * kNsPerMs; // 0.1 s
+    Timeline tl(&loop, &reg, cfg);
+    tl.start();
+
+    // 400 increments spread over 4 one-second intervals → 100 per
+    // interval = 100 ops/s.
+    drive(loop, 400, cfg.interval / 100, [c](uint64_t) { c->inc(); });
+    tl.sample_now();
+
+    int vi = tl.column_index("test.ops");
+    int ri = tl.column_index("test.ops.rate");
+    ASSERT_GE(vi, 0);
+    ASSERT_GE(ri, 0);
+    ASSERT_EQ(tl.size(), 4u);
+    double cum = 0;
+    for (const TimelineRow &row : tl.rows()) {
+        cum += 100;
+        EXPECT_DOUBLE_EQ(row.values[vi], cum);
+        EXPECT_NEAR(row.values[ri], 100.0, 1e-6) << "ops per second";
+    }
+}
+
+TEST(Timeline, GaugeProbeRefreshesBeforeEachRow)
+{
+    EventLoop loop;
+    MetricsRegistry reg;
+    Gauge *g = reg.gauge("test.depth");
+    TimelineConfig cfg;
+    cfg.interval = 1000;
+    Timeline tl(&loop, &reg, cfg);
+    uint64_t probe_runs = 0;
+    tl.add_probe([&] { g->set(++probe_runs * 7); });
+    tl.start();
+
+    drive(loop, 3, 1000, [](uint64_t) {});
+    ASSERT_EQ(tl.size(), 3u);
+    EXPECT_EQ(probe_runs, 3u);
+    std::vector<double> s = tl.series("test.depth");
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_DOUBLE_EQ(s[0], 7.0);
+    EXPECT_DOUBLE_EQ(s[2], 21.0);
+}
+
+TEST(Timeline, WindowedLatencyPercentiles)
+{
+    EventLoop loop;
+    MetricsRegistry reg;
+    LatencyMetric *lat = reg.latency("test.lat_ns");
+    TimelineConfig cfg;
+    cfg.interval = 1000;
+    Timeline tl(&loop, &reg, cfg);
+    tl.start();
+
+    // Interval 1: 10 fast samples. Interval 2: 10 slow samples. The
+    // windowed p50 must track the interval, not the cumulative mix.
+    drive(loop, 20, 100, [lat](uint64_t i) {
+        lat->record(i < 10 ? 1000 : 1000000);
+    });
+    tl.sample_now();
+
+    int n = tl.column_index("test.lat_ns.win_n");
+    int p50 = tl.column_index("test.lat_ns.win_p50_ns");
+    ASSERT_GE(n, 0);
+    ASSERT_GE(p50, 0);
+    ASSERT_EQ(tl.size(), 2u);
+    const TimelineRow &r0 = tl.rows()[0];
+    const TimelineRow &r1 = tl.rows()[1];
+    EXPECT_DOUBLE_EQ(r0.values[n], 10.0);
+    EXPECT_DOUBLE_EQ(r1.values[n], 10.0);
+    EXPECT_LT(r0.values[p50], 10000.0);
+    EXPECT_GT(r1.values[p50], 100000.0)
+        << "second window must not be diluted by the first";
+}
+
+TEST(Timeline, RingWraparoundKeepsNewestRows)
+{
+    EventLoop loop;
+    MetricsRegistry reg;
+    TimelineConfig cfg;
+    cfg.interval = 1000;
+    cfg.capacity = 4;
+    Timeline tl(&loop, &reg, cfg);
+    tl.start();
+
+    drive(loop, 10, 1000, [](uint64_t) {});
+    EXPECT_EQ(tl.size(), 4u);
+    EXPECT_EQ(tl.dropped(), 6u);
+    // Oldest surviving row is boundary 7; newest is 10.
+    EXPECT_EQ(tl.rows().front().t, 7000u);
+    EXPECT_EQ(tl.rows().back().t, 10000u);
+}
+
+TEST(Timeline, CsvAndJsonShape)
+{
+    EventLoop loop;
+    MetricsRegistry reg;
+    Counter *c = reg.counter("test.ops");
+    TimelineConfig cfg;
+    cfg.interval = 1000;
+    Timeline tl(&loop, &reg, cfg);
+    tl.start();
+    drive(loop, 2, 1000, [c](uint64_t) { c->inc(); });
+
+    std::string csv = tl.to_csv();
+    EXPECT_EQ(csv.compare(0, 4, "t_s,"), 0) << csv;
+    EXPECT_NE(csv.find("test.ops.rate"), std::string::npos);
+    // Header plus one line per row.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+
+    std::string json = tl.to_json();
+    EXPECT_NE(json.find("\"interval_ns\": 1000"), std::string::npos);
+    EXPECT_NE(json.find("\"columns\""), std::string::npos);
+    EXPECT_NE(json.find("\"rows\""), std::string::npos);
+}
+
+TEST(Timeline, StopDisarmsSampler)
+{
+    EventLoop loop;
+    MetricsRegistry reg;
+    TimelineConfig cfg;
+    cfg.interval = 1000;
+    Timeline tl(&loop, &reg, cfg);
+    tl.start();
+    drive(loop, 2, 1000, [](uint64_t) {});
+    EXPECT_EQ(tl.size(), 2u);
+    tl.stop();
+    drive(loop, 2, 1000, [](uint64_t) {});
+    EXPECT_EQ(tl.size(), 2u) << "rows recorded after stop()";
+}
+
+// ---------------------------------------------------------------------
+// Anomaly detection on synthetic rows (direct observe() calls).
+
+std::vector<std::string>
+one_col(const std::string &name)
+{
+    return {name};
+}
+
+TEST(Anomaly, CollapseTruePositive)
+{
+    AnomalyConfig cfg;
+    CollapseRule rule;
+    rule.series = "tput";
+    cfg.collapse.push_back(rule);
+    AnomalyDetector det(cfg);
+    auto cols = one_col("tput");
+
+    // Steady 1000/s for 10 rows, then a collapse to 100/s.
+    Tick t = 0;
+    for (int i = 0; i < 10; ++i)
+        det.observe(cols, t += 1000, {1000.0});
+    EXPECT_EQ(det.count(AnomalyEvent::Type::kThroughputCollapse), 0u);
+    det.observe(cols, t += 1000, {100.0});
+    ASSERT_EQ(det.count(AnomalyEvent::Type::kThroughputCollapse), 1u);
+    const AnomalyEvent *ev =
+        det.first(AnomalyEvent::Type::kThroughputCollapse);
+    ASSERT_NE(ev, nullptr);
+    EXPECT_EQ(ev->series, "tput");
+    EXPECT_EQ(ev->t, t);
+    EXPECT_DOUBLE_EQ(ev->value, 100.0);
+    EXPECT_NEAR(ev->reference, 1000.0, 1.0);
+
+    // Sustained collapse: no repeat events (EWMA frozen while tripped).
+    for (int i = 0; i < 10; ++i)
+        det.observe(cols, t += 1000, {100.0});
+    EXPECT_EQ(det.count(AnomalyEvent::Type::kThroughputCollapse), 1u);
+
+    // Recovery re-arms and is itself reported.
+    det.observe(cols, t += 1000, {950.0});
+    EXPECT_EQ(det.count(AnomalyEvent::Type::kThroughputRecovered), 1u);
+}
+
+TEST(Anomaly, CollapseFalsePositiveSteadyAndNoisyLoad)
+{
+    AnomalyConfig cfg;
+    CollapseRule rule;
+    rule.series = "tput";
+    cfg.collapse.push_back(rule);
+    AnomalyDetector det(cfg);
+    auto cols = one_col("tput");
+
+    // Steady load with ±20% deterministic jitter never dips below
+    // half the EWMA: zero events.
+    Tick t = 0;
+    for (int i = 0; i < 100; ++i) {
+        double v = 1000.0 + ((i * 37) % 400) - 200.0;
+        det.observe(cols, t += 1000, {v});
+    }
+    EXPECT_TRUE(det.events().empty()) << det.dump();
+}
+
+TEST(Anomaly, CollapseWarmupAndMinReferenceSuppressEarlyTrips)
+{
+    AnomalyConfig cfg;
+    CollapseRule rule;
+    rule.series = "tput";
+    rule.warmup_samples = 5;
+    rule.min_reference = 500.0;
+    cfg.collapse.push_back(rule);
+    AnomalyDetector det(cfg);
+    auto cols = one_col("tput");
+
+    // A drop inside the warmup window is absorbed, not reported.
+    Tick t = 0;
+    det.observe(cols, t += 1000, {1000.0});
+    det.observe(cols, t += 1000, {10.0});
+    EXPECT_TRUE(det.events().empty());
+
+    // A series whose level never reaches min_reference cannot trip
+    // (idle volumes are not "collapsed").
+    AnomalyDetector det2(cfg);
+    for (int i = 0; i < 20; ++i)
+        det2.observe(cols, t += 1000, {i % 2 ? 40.0 : 2.0});
+    EXPECT_TRUE(det2.events().empty()) << det2.dump();
+}
+
+TEST(Anomaly, LatencyBurnRequiresConsecutiveBreaches)
+{
+    AnomalyConfig cfg;
+    LatencyBurnRule rule;
+    rule.series = "p99";
+    rule.budget_ns = 1000.0;
+    rule.consecutive = 3;
+    cfg.latency_burn.push_back(rule);
+    AnomalyDetector det(cfg);
+    auto cols = one_col("p99");
+
+    // Two breaches, a dip, two breaches: streak resets, no event.
+    Tick t = 0;
+    for (double v : {1500.0, 1500.0, 500.0, 1500.0, 1500.0})
+        det.observe(cols, t += 1000, {v});
+    EXPECT_EQ(det.count(AnomalyEvent::Type::kLatencyBurn), 0u);
+
+    // Third consecutive breach trips exactly once per episode.
+    det.observe(cols, t += 1000, {2000.0});
+    EXPECT_EQ(det.count(AnomalyEvent::Type::kLatencyBurn), 1u);
+    det.observe(cols, t += 1000, {2000.0});
+    EXPECT_EQ(det.count(AnomalyEvent::Type::kLatencyBurn), 1u);
+
+    // Back under budget re-arms for the next episode.
+    det.observe(cols, t += 1000, {100.0});
+    for (int i = 0; i < 3; ++i)
+        det.observe(cols, t += 1000, {5000.0});
+    EXPECT_EQ(det.count(AnomalyEvent::Type::kLatencyBurn), 2u);
+}
+
+TEST(Anomaly, StallNeedsInflightWork)
+{
+    AnomalyConfig cfg;
+    StallRule rule;
+    rule.progress_series = "rate";
+    rule.inflight_series = "pending";
+    rule.consecutive = 3;
+    cfg.stall.push_back(rule);
+    AnomalyDetector det(cfg);
+    std::vector<std::string> cols = {"rate", "pending"};
+
+    // Zero progress with zero in-flight is idle, not a stall.
+    Tick t = 0;
+    for (int i = 0; i < 10; ++i)
+        det.observe(cols, t += 1000, {0.0, 0.0});
+    EXPECT_EQ(det.count(AnomalyEvent::Type::kStall), 0u);
+
+    // Zero progress with queued work trips after `consecutive` rows.
+    det.observe(cols, t += 1000, {0.0, 4.0});
+    det.observe(cols, t += 1000, {0.0, 4.0});
+    EXPECT_EQ(det.count(AnomalyEvent::Type::kStall), 0u);
+    det.observe(cols, t += 1000, {0.0, 4.0});
+    ASSERT_EQ(det.count(AnomalyEvent::Type::kStall), 1u);
+    EXPECT_DOUBLE_EQ(det.first(AnomalyEvent::Type::kStall)->value, 4.0);
+}
+
+TEST(Anomaly, MissingSeriesIsIgnoredNotFatal)
+{
+    AnomalyConfig cfg;
+    CollapseRule rule;
+    rule.series = "no.such.column";
+    cfg.collapse.push_back(rule);
+    AnomalyDetector det(cfg);
+    auto cols = one_col("tput");
+    Tick t = 0;
+    for (int i = 0; i < 10; ++i)
+        det.observe(cols, t += 1000, {1000.0});
+    EXPECT_TRUE(det.events().empty());
+}
+
+TEST(Anomaly, JsonExportShape)
+{
+    AnomalyConfig cfg;
+    CollapseRule rule;
+    rule.series = "tput";
+    cfg.collapse.push_back(rule);
+    AnomalyDetector det(cfg);
+    auto cols = one_col("tput");
+    Tick t = 0;
+    for (int i = 0; i < 10; ++i)
+        det.observe(cols, t += 1000, {1000.0});
+    det.observe(cols, t += 1000, {1.0});
+    std::string json = det.to_json();
+    EXPECT_NE(json.find("\"throughput_collapse\""), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"series\": \"tput\""), std::string::npos);
+    EXPECT_NE(json.find("\"t_ns\":"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: a timeline wired to a detector catches a simulated
+// throughput collapse (true positive) and stays silent on steady load
+// (false-positive check).
+
+TEST(TimelineAnomaly, DetectsSimulatedCollapseEndToEnd)
+{
+    EventLoop loop;
+    MetricsRegistry reg;
+    Counter *work = reg.counter("sim.work");
+    AnomalyConfig acfg;
+    CollapseRule rule;
+    rule.series = "sim.work.rate";
+    acfg.collapse.push_back(rule);
+    AnomalyDetector det(acfg);
+    TimelineConfig cfg;
+    cfg.interval = 1000;
+    Timeline tl(&loop, &reg, cfg);
+    tl.set_detector(&det);
+    tl.start();
+
+    // 20 intervals of 10 ops each, then 20 intervals of 1 op each.
+    drive(loop, 40 * 10, 100, [work](uint64_t i) {
+        if (i < 200 || i % 10 == 0)
+            work->inc();
+    });
+    tl.sample_now();
+
+    ASSERT_EQ(det.count(AnomalyEvent::Type::kThroughputCollapse), 1u)
+        << det.dump();
+    const AnomalyEvent *ev =
+        det.first(AnomalyEvent::Type::kThroughputCollapse);
+    EXPECT_GT(ev->t, 20000u) << "collapse detected before it happened";
+}
+
+TEST(TimelineAnomaly, SteadyLoadEmitsNoEvents)
+{
+    EventLoop loop;
+    MetricsRegistry reg;
+    Counter *work = reg.counter("sim.work");
+    AnomalyConfig acfg;
+    CollapseRule rule;
+    rule.series = "sim.work.rate";
+    acfg.collapse.push_back(rule);
+    AnomalyDetector det(acfg);
+    TimelineConfig cfg;
+    cfg.interval = 1000;
+    Timeline tl(&loop, &reg, cfg);
+    tl.set_detector(&det);
+    tl.start();
+
+    drive(loop, 400, 100, [work](uint64_t) { work->inc(); });
+    tl.sample_now();
+    EXPECT_TRUE(det.events().empty()) << det.dump();
+}
+
+} // namespace
+} // namespace raizn::obs

@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_*.json baselines.
+
+Every bench emits a JSON result file that embeds its own acceptance
+policy under a top-level "tolerance" object mapping field name ->
+{"rel": R, "abs": A} (either key optional, missing = 0).  A candidate
+value passes iff
+
+    |new - base| <= A + R * |base|
+
+Fields NOT named in the tolerance map must match exactly: the benches
+run on a deterministic virtual clock, so any untoleranced drift is a
+real behavior change, not noise.  Structure is compared recursively;
+records inside a "points" array are matched by the tuple of their
+string/bool fields (the identity columns), so reordering points is
+fine but adding/dropping one is a failure.
+
+Modes:
+    bench_gate.py compare <baseline.json> <candidate.json> [...]
+        Pairwise compare; exits 1 on any violation.
+    bench_gate.py self-test <baseline.json> [...]
+        Perturbs each toleranced field by ~2.5x its band and checks
+        the comparison FAILS -- proves the gate can actually trip.
+"""
+
+import copy
+import json
+import sys
+
+# Keys that are bench configuration, not measurements: a config
+# mismatch means you are comparing different experiments, which is
+# reported as its own error rather than a value regression.
+CONFIG_KEYS = {"config"}
+
+
+def is_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def identity_of(record):
+    """Identity tuple of a points-array record: its string/bool fields."""
+    return tuple(
+        (k, v)
+        for k, v in sorted(record.items())
+        if isinstance(v, (str, bool))
+    )
+
+
+def check_value(path, base, new, band, errors):
+    """One leaf value. `band` is the tolerance entry or None."""
+    if is_number(base) and is_number(new):
+        rel = band.get("rel", 0.0) if band else 0.0
+        absol = band.get("abs", 0.0) if band else 0.0
+        limit = absol + rel * abs(base)
+        if abs(new - base) > limit:
+            kind = "tolerance" if band else "exact-match"
+            errors.append(
+                f"{path}: {base} -> {new} "
+                f"(|delta|={abs(new - base):.6g} > {kind} "
+                f"limit {limit:.6g})"
+            )
+    elif base != new:
+        errors.append(f"{path}: {base!r} -> {new!r}")
+
+
+def check_node(path, base, new, tolerance, errors):
+    if isinstance(base, dict) and isinstance(new, dict):
+        for k in sorted(set(base) | set(new)):
+            sub = f"{path}.{k}" if path else k
+            if k == "tolerance" and not path:
+                continue  # the policy itself is not a measurement
+            if k not in new:
+                errors.append(f"{sub}: missing from candidate")
+            elif k not in base:
+                errors.append(f"{sub}: not in baseline (new field)")
+            else:
+                check_node(sub, base[k], new[k], tolerance, errors)
+    elif isinstance(base, list) and isinstance(new, list):
+        if base and all(isinstance(r, dict) for r in base):
+            match_records(path, base, new, tolerance, errors)
+        else:
+            if len(base) != len(new):
+                errors.append(
+                    f"{path}: length {len(base)} -> {len(new)}"
+                )
+                return
+            for i, (b, n) in enumerate(zip(base, new)):
+                check_node(f"{path}[{i}]", b, n, tolerance, errors)
+    else:
+        # Leaf: the field name (last path component) selects the band.
+        field = path.rsplit(".", 1)[-1].split("[")[0]
+        band = tolerance.get(field)
+        if path.split(".", 1)[0] in CONFIG_KEYS:
+            band = None  # config always exact
+        check_value(path, base, new, band, errors)
+
+
+def match_records(path, base, new, tolerance, errors):
+    """Records matched by string/bool identity, order-independent."""
+    new_by_id = {}
+    for r in new:
+        new_by_id.setdefault(identity_of(r), []).append(r)
+    for b in base:
+        ident = identity_of(b)
+        bucket = new_by_id.get(ident)
+        label = ", ".join(f"{k}={v}" for k, v in ident) or "<anonymous>"
+        if not bucket:
+            errors.append(f"{path}: record [{label}] missing "
+                          f"from candidate")
+            continue
+        n = bucket.pop(0)
+        check_node(f"{path}[{label}]", b, n, tolerance, errors)
+    for ident, leftover in new_by_id.items():
+        for _ in leftover:
+            label = ", ".join(f"{k}={v}" for k, v in ident)
+            errors.append(f"{path}: unexpected extra record [{label}]")
+
+
+def compare(base, new):
+    """Returns a list of violation strings (empty = pass)."""
+    tolerance = base.get("tolerance", {})
+    errors = []
+    check_node("", base, new, tolerance, errors)
+    return errors
+
+
+def perturbations(base):
+    """Yields (description, mutated-copy) pairs, one per toleranced
+    numeric field occurrence, each pushed ~2.5x outside its band."""
+    tolerance = base.get("tolerance", {})
+
+    def visit(node, path):
+        if isinstance(node, dict):
+            for k, v in node.items():
+                if k == "tolerance" and not path:
+                    continue
+                yield from visit(v, f"{path}.{k}" if path else k)
+        elif isinstance(node, list):
+            for i, v in enumerate(node):
+                yield from visit(v, f"{path}[{i}]")
+        elif is_number(node):
+            field = path.rsplit(".", 1)[-1].split("[")[0]
+            band = tolerance.get(field)
+            if band is None or path.split(".", 1)[0] in CONFIG_KEYS:
+                return
+            limit = band.get("abs", 0.0) + band.get("rel", 0.0) * abs(node)
+            # 2.5x the band, and at least 1 so zero-band integer
+            # fields (e.g. {"abs": 0}) still move.
+            yield path, node + max(2.5 * limit, 1.0)
+
+    for path, bad in visit(base, ""):
+        mutated = copy.deepcopy(base)
+        cursor = mutated
+        parts = []
+        for piece in path.split("."):
+            while "[" in piece:
+                head, rest = piece.split("[", 1)
+                if head:
+                    parts.append(head)
+                parts.append(int(rest.split("]", 1)[0]))
+                piece = rest.split("]", 1)[1]
+            if piece:
+                parts.append(piece)
+        for p in parts[:-1]:
+            cursor = cursor[p]
+        cursor[parts[-1]] = bad
+        yield path, mutated
+
+
+def cmd_compare(pairs):
+    failed = False
+    for base_path, new_path in pairs:
+        with open(base_path) as fh:
+            base = json.load(fh)
+        with open(new_path) as fh:
+            new = json.load(fh)
+        errors = compare(base, new)
+        if errors:
+            failed = True
+            print(f"FAIL {base_path} vs {new_path}:")
+            for e in errors:
+                print(f"  {e}")
+        else:
+            print(f"ok   {base_path} vs {new_path}")
+    return 1 if failed else 0
+
+
+def cmd_self_test(paths):
+    """The gate must trip on every out-of-band perturbation and stay
+    quiet on an identical copy; otherwise the gate itself is broken."""
+    failed = False
+    for base_path in paths:
+        with open(base_path) as fh:
+            base = json.load(fh)
+        if compare(base, copy.deepcopy(base)):
+            print(f"FAIL {base_path}: identical copy did not pass")
+            failed = True
+            continue
+        n = 0
+        for path, mutated in perturbations(base):
+            n += 1
+            if not compare(base, mutated):
+                print(f"FAIL {base_path}: perturbing {path} 2.5x out "
+                      f"of band was not detected")
+                failed = True
+        if n == 0:
+            print(f"FAIL {base_path}: no toleranced numeric fields to "
+                  f"perturb (missing tolerance map?)")
+            failed = True
+        else:
+            print(f"ok   {base_path}: identical copy passes, all {n} "
+                  f"out-of-band perturbations detected")
+    return 1 if failed else 0
+
+
+def main(argv):
+    if len(argv) >= 4 and argv[1] == "compare" and len(argv) % 2 == 0:
+        pairs = list(zip(argv[2::2], argv[3::2]))
+        return cmd_compare(pairs)
+    if len(argv) >= 3 and argv[1] == "self-test":
+        return cmd_self_test(argv[2:])
+    print(__doc__.strip(), file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

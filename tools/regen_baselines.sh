@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Regenerates the committed BENCH_*.json perf baselines from the
+# current build. Run from the repo root after an intentional perf
+# change, review the diff, and commit the updated baselines together
+# with the change that moved them.
+#
+#   tools/regen_baselines.sh [build-dir]    (default: build)
+#
+# The benches are deterministic (virtual clock), so reruns on the same
+# source are byte-identical; any diff this script produces is a real
+# behavior change.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+cd "$(dirname "$0")/.."
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+    echo "error: $BUILD_DIR/bench not found (build the benches first:" \
+         "cmake --build $BUILD_DIR --target" \
+         "bench_fault_sweep bench_fig12_rebuild" \
+         "bench_fig10_gc_timeseries)" >&2
+    exit 1
+fi
+
+echo "== bench_fault_sweep -> BENCH_fault_sweep.json"
+"$BUILD_DIR/bench/bench_fault_sweep" > /dev/null
+
+echo "== bench_fig12_rebuild -> BENCH_rebuild_mttr.json"
+"$BUILD_DIR/bench/bench_fig12_rebuild" > /dev/null
+
+echo "== bench_fig10_gc_timeseries -> BENCH_fig10_collapse.json"
+"$BUILD_DIR/bench/bench_fig10_gc_timeseries" > /dev/null
+
+echo "== self-testing the gate on the fresh baselines"
+python3 tools/bench_gate.py self-test \
+    BENCH_fault_sweep.json \
+    BENCH_rebuild_mttr.json \
+    BENCH_fig10_collapse.json
+
+git --no-pager diff --stat -- 'BENCH_*.json' || true
+echo "done; review the diff above before committing."
