@@ -6,11 +6,19 @@
  * a seeded schedule, so runs are reproducible. Emits
  * BENCH_fault_sweep.json with one record per (point, workload) for
  * plotting, and prints the volume's resilience counters per point.
+ *
+ * A second section sweeps the device-failure matrix across every
+ * ZonedArray engine (raid0/1/5/6/10/auto and raizn): each mode runs a
+ * sequential-write pass with 0..tolerance+1 members failed, and the
+ * bench ASSERTS the mode-appropriate outcome — error-free IO at or
+ * below the mode's fault tolerance, surfaced IO errors beyond it.
  */
 #include <cstdio>
 #include <string>
 #include <vector>
 
+#include "array/engine.h"
+#include "array/raid_mode.h"
 #include "bench_util.h"
 #include "common/logging.h"
 #include "fault/fault_device.h"
@@ -140,11 +148,155 @@ run_point(const SweepPoint &pt, const std::string &mode,
             st.io_retries, st.io_timeouts, st.dev_errors};
 }
 
+// ---------------------------------------------------------------------
+// Cross-engine failure matrix
+// ---------------------------------------------------------------------
+
+struct EngineArray {
+    std::unique_ptr<EventLoop> loop;
+    std::vector<std::unique_ptr<ZnsDevice>> devs;
+    std::unique_ptr<ZonedEngine> eng;
+};
+
+EngineArray
+make_engine_array(RaidMode mode, const BenchScale &scale)
+{
+    EngineArray arr;
+    arr.loop = std::make_unique<EventLoop>();
+    // Mirror pairs need an even member count.
+    uint32_t ndev = mode == RaidMode::kRaid10 ? scale.num_devices & ~1u
+                                              : scale.num_devices;
+    std::vector<BlockDevice *> ptrs;
+    for (uint32_t i = 0; i < ndev; ++i) {
+        ZnsDeviceConfig cfg;
+        cfg.nzones = scale.zones_per_device;
+        cfg.zone_size = scale.zone_cap_sectors;
+        cfg.zone_capacity = scale.zone_cap_sectors;
+        cfg.data_mode = scale.data_mode;
+        cfg.timing = TimingParams::zns();
+        cfg.name = "zns" + std::to_string(i);
+        arr.devs.push_back(
+            std::make_unique<ZnsDevice>(arr.loop.get(), cfg));
+        ptrs.push_back(arr.devs.back().get());
+    }
+    EngineConfig ecfg;
+    ecfg.mode = mode;
+    ecfg.su_sectors = scale.su_sectors;
+    auto res = ZonedEngine::create(arr.loop.get(), ptrs, ecfg);
+    if (!res.is_ok())
+        RAIZN_PANIC("%s create failed: %s",
+                    std::string(to_string(mode)).c_str(),
+                    res.status().to_string().c_str());
+    arr.eng = std::move(res).value();
+    return arr;
+}
+
+struct MatrixRecord {
+    std::string engine;
+    uint32_t nfail;
+    bool survived;
+    double mibs;
+    uint64_t errors;
+};
+
+/// One (engine, failure-count) cell: seqwrite with `nfail` members
+/// down. Panics when the observed outcome contradicts the mode's
+/// fault tolerance, making the sweep a pass/fail resilience test.
+MatrixRecord
+run_matrix_point(RaidMode mode, uint32_t nfail)
+{
+    constexpr uint32_t kBs = 64;
+    BenchScale scale;
+    FaultSweepArray rarr;
+    EngineArray earr;
+    ZonedArray *za = nullptr;
+    EventLoop *loop = nullptr;
+    if (mode == RaidMode::kRaizn) {
+        rarr = make_faulty_array(scale, 0.0, -1);
+        za = rarr.vol.get();
+        loop = rarr.loop.get();
+    } else {
+        earr = make_engine_array(mode, scale);
+        za = earr.eng.get();
+        loop = earr.loop.get();
+    }
+    for (uint32_t d = 0; d < nfail; ++d)
+        za->mark_device_failed(d);
+
+    ZonedArrayTarget target(za);
+    WorkloadRunner runner(loop, &target);
+    auto jobs = seq_jobs(RwMode::kSeqWrite, kBs, 4, 64, target.capacity(),
+                         za->zone_capacity());
+    for (auto &j : jobs)
+        j.io_limit = kIosPerJob / 4; // outcome matters, not steady state
+    auto res = runner.run_merged(jobs);
+
+    const bool survived = res.errors == 0 && res.bytes > 0;
+    const bool expect = nfail <= fault_tolerance(mode);
+    std::printf("  %-7s nfail=%u  %8.0f MiB/s  errors=%-6llu %s\n",
+                std::string(to_string(mode)).c_str(), nfail,
+                res.throughput_mibs(), (unsigned long long)res.errors,
+                survived ? "survived" : "degraded-out");
+    if (survived != expect)
+        RAIZN_PANIC("%s with %u member(s) failed: expected %s, got %s",
+                    std::string(to_string(mode)).c_str(), nfail,
+                    expect ? "error-free IO" : "surfaced IO errors",
+                    survived ? "error-free IO" : "surfaced IO errors");
+    return {std::string(to_string(mode)), nfail, survived,
+            res.throughput_mibs(), res.errors};
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // `--matrix <mode>`: run only that engine's failure-matrix cells
+    // (still asserted) and write BENCH_fault_matrix_<mode>.json — the
+    // per-mode CI shard artifact.
+    if (argc >= 3 && std::string(argv[1]) == "--matrix") {
+        RaidMode mode;
+        if (!parse_raid_mode(argv[2], &mode) ||
+            mode == RaidMode::kMdraid) {
+            std::fprintf(stderr, "unknown engine mode '%s'\n", argv[2]);
+            return 2;
+        }
+        print_header("Failure matrix (single engine)");
+        std::vector<MatrixRecord> matrix;
+        for (uint32_t nfail = 0; nfail <= fault_tolerance(mode) + 1;
+             ++nfail)
+            matrix.push_back(run_matrix_point(mode, nfail));
+        std::string path = "BENCH_fault_matrix_" +
+            std::string(to_string(mode)) + ".json";
+        FILE *mf = std::fopen(path.c_str(), "w");
+        if (!mf) {
+            std::fprintf(stderr, "cannot write %s\n", path.c_str());
+            return 1;
+        }
+        std::fprintf(mf, "{\n  \"mode_matrix\": [\n");
+        for (size_t i = 0; i < matrix.size(); ++i) {
+            const MatrixRecord &m = matrix[i];
+            std::fprintf(mf,
+                         "    {\"engine\": \"%s\", "
+                         "\"case\": \"nfail=%u\", \"survived\": %s, "
+                         "\"mibs\": %.1f, \"errors\": %llu}%s\n",
+                         m.engine.c_str(), m.nfail,
+                         m.survived ? "true" : "false", m.mibs,
+                         (unsigned long long)m.errors,
+                         i + 1 < matrix.size() ? "," : "");
+        }
+        std::fprintf(mf,
+                     "  ],\n"
+                     "  \"tolerance\": {\n"
+                     "    \"mibs\": {\"rel\": 0.10, \"abs\": 1},\n"
+                     "    \"errors\": {\"rel\": 0.50, \"abs\": 20}\n"
+                     "  }\n}\n");
+        std::fclose(mf);
+        std::printf("\nwrote %s (%zu records)\n", path.c_str(),
+                    matrix.size());
+        return 0;
+    }
+
     ObsOptions oo;
     if (!parse_obs_args(argc, argv, &oo))
         return 2;
@@ -172,6 +324,17 @@ main(int argc, char **argv)
             records.push_back(
                 run_point(pt, mode, instrument ? &obs : nullptr));
         }
+    }
+
+    print_header("Failure matrix: outcome vs failed members, per engine");
+    std::vector<MatrixRecord> matrix;
+    for (RaidMode mode :
+         {RaidMode::kRaid0, RaidMode::kRaid1, RaidMode::kRaid5,
+          RaidMode::kRaid6, RaidMode::kRaid10, RaidMode::kAuto,
+          RaidMode::kRaizn}) {
+        for (uint32_t nfail = 0; nfail <= fault_tolerance(mode) + 1;
+             ++nfail)
+            matrix.push_back(run_matrix_point(mode, nfail));
     }
 
     FILE *f = std::fopen("BENCH_fault_sweep.json", "w");
@@ -203,6 +366,20 @@ main(int argc, char **argv)
             (unsigned long long)r.dev_errors,
             i + 1 < records.size() ? "," : "");
     }
+    // The matrix's identity is (engine, case); `survived` is the
+    // asserted outcome and must match the baseline exactly.
+    std::fprintf(f, "  ],\n  \"mode_matrix\": [\n");
+    for (size_t i = 0; i < matrix.size(); ++i) {
+        const MatrixRecord &m = matrix[i];
+        std::fprintf(f,
+                     "    {\"engine\": \"%s\", \"case\": \"nfail=%u\", "
+                     "\"survived\": %s, \"mibs\": %.1f, "
+                     "\"errors\": %llu}%s\n",
+                     m.engine.c_str(), m.nfail,
+                     m.survived ? "true" : "false", m.mibs,
+                     (unsigned long long)m.errors,
+                     i + 1 < matrix.size() ? "," : "");
+    }
     // Injected faults perturb tail latency and retry counts more than
     // throughput, so those fields get the widest bands.
     std::fprintf(
@@ -213,7 +390,8 @@ main(int argc, char **argv)
         "    \"p99_us\": {\"rel\": 0.20, \"abs\": 10},\n"
         "    \"io_retries\": {\"rel\": 0.30, \"abs\": 5},\n"
         "    \"io_timeouts\": {\"rel\": 0.30, \"abs\": 3},\n"
-        "    \"dev_errors\": {\"rel\": 0.30, \"abs\": 5}\n"
+        "    \"dev_errors\": {\"rel\": 0.30, \"abs\": 5},\n"
+        "    \"errors\": {\"rel\": 0.50, \"abs\": 20}\n"
         "  }\n}\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_fault_sweep.json (%zu records)\n",

@@ -35,6 +35,9 @@ usage(const char *argv0)
 {
     fprintf(stderr,
             "usage: %s [explore|sweep|replay] [options]\n"
+            "  --engine raizn|raid0|raid1|raid5|raid6|raid10|auto\n"
+            "                    array implementation to explore\n"
+            "                    (default raizn, the paper's volume)\n"
             "  --workload canonical|degraded[:dev]|random[:seed[:nops]]\n"
             "  --policy drop|keep|random|divergent\n"
             "  --degraded        also re-read degraded after each mount\n"
@@ -59,7 +62,8 @@ usage(const char *argv0)
 }
 
 ChkWorkload
-parse_workload(const std::string &spec, const ChkGeom &g, bool *ok)
+parse_workload(const std::string &spec, const ChkGeom &g,
+               bool allow_fail_dev, bool *ok)
 {
     *ok = true;
     if (spec.empty() || spec == "canonical")
@@ -85,7 +89,7 @@ parse_workload(const std::string &spec, const ChkGeom &g, bool *ok)
             if (end && *end == ':')
                 nops = static_cast<uint32_t>(strtoul(end + 1, nullptr, 0));
         }
-        return random_workload(g, seed, nops);
+        return random_workload(g, seed, nops, allow_fail_dev);
     }
     *ok = false;
     return {};
@@ -127,6 +131,8 @@ main(int argc, char **argv)
     uint32_t rebuild_dev = 1;
     uint64_t rebuild_rate = 0;
 
+    auto engine = raizn::RaidMode::kRaizn;
+
     int i = 1;
     if (i < argc && argv[i][0] != '-')
         mode = argv[i++];
@@ -135,7 +141,21 @@ main(int argc, char **argv)
         auto next = [&]() -> const char * {
             return i + 1 < argc ? argv[++i] : "";
         };
-        if (a == "--workload") {
+        if (a == "--engine") {
+            std::string e = next();
+            if (!raizn::parse_raid_mode(e, &engine)) {
+                fprintf(stderr, "unknown engine '%s'\n", e.c_str());
+                return usage(argv[0]);
+            }
+            if (engine == raizn::RaidMode::kMdraid) {
+                fprintf(stderr,
+                        "mdraid runs over conventional devices — it has "
+                        "no zones, so zone-granular crash exploration "
+                        "does not apply; use the bench_fault_sweep "
+                        "fault matrix instead\n");
+                return 2;
+            }
+        } else if (a == "--workload") {
             wl_spec = next();
         } else if (a == "--policy") {
             policy = next();
@@ -192,8 +212,48 @@ main(int argc, char **argv)
     }
 
     ChkConfig cfg;
+    cfg.engine = engine;
+    const bool is_raizn = engine == raizn::RaidMode::kRaizn;
+    if (!is_raizn) {
+        // Engine geometry: smaller stripe units and taller zones keep
+        // every mode's canonical workload inside the smallest logical
+        // zone capacity (RAID-1's, one device zone).
+        cfg.su_sectors = 8;
+        cfg.zone_cap = 256;
+        if (engine == raizn::RaidMode::kRaid10)
+            cfg.num_devices = 4; // mirror pairs need an even count
+    }
+    // Mid-workload device failures followed by a power cut are only in
+    // contract for arrays whose acked writes stay reconstructable
+    // across the crash: RAIZN (partial-parity log) and the mirror
+    // modes (whole copies on the surviving members). Generic parity
+    // modes lose the open stripe's parity with the cut.
+    const bool fail_dev_in_contract = is_raizn ||
+        engine == raizn::RaidMode::kRaid1 ||
+        engine == raizn::RaidMode::kRaid10;
+    if (phase == ChkOptions::Phase::kRebuild && !is_raizn) {
+        fprintf(stderr,
+                "--phase rebuild needs the raizn engine (persistent "
+                "rebuild checkpoints)\n");
+        return 2;
+    }
+    if (fault != raizn::RaiznVolume::DebugFault::kNone && !is_raizn) {
+        fprintf(stderr, "--fault targets the raizn partial-parity log; "
+                        "pick --engine raizn\n");
+        return 2;
+    }
+    if (wl_spec.rfind("degraded", 0) == 0 && !fail_dev_in_contract) {
+        fprintf(stderr,
+                "the degraded workload is out of contract for engine "
+                "'%s': its open-stripe parity is volatile, so degraded "
+                "acks need not survive the cut (that write hole is what "
+                "raizn's partial-parity log closes)\n",
+                std::string(raizn::to_string(engine)).c_str());
+        return 2;
+    }
     bool ok = false;
-    ChkWorkload wl = parse_workload(wl_spec, cfg.geom(), &ok);
+    ChkWorkload wl =
+        parse_workload(wl_spec, cfg.geom(), fail_dev_in_contract, &ok);
     if (!ok)
         return usage(argv[0]);
 
@@ -232,7 +292,11 @@ main(int argc, char **argv)
         opts.trace_dir = trace_dir;
     }
 
-    std::string repro = " --workload " + wl_spec + " --policy " + policy;
+    std::string engine_arg = is_raizn
+        ? std::string()
+        : " --engine " + std::string(raizn::to_string(engine));
+    std::string repro =
+        engine_arg + " --workload " + wl_spec + " --policy " + policy;
     if (fault != raizn::RaiznVolume::DebugFault::kNone)
         repro += " --fault skip-pp";
     if (degraded)
@@ -271,7 +335,48 @@ main(int argc, char **argv)
     }
 
     int rc = 0;
-    if (smoke && phase == ChkOptions::Phase::kRebuild) {
+    if (smoke && !is_raizn) {
+        // Bounded per-mode budget for ctest: power cut at every
+        // completion of the canonical workload, a seeded random sweep,
+        // and — for the mirror modes, whose redundancy is whole copies
+        // and therefore crash-safe — an exhaustive degraded pass with
+        // post-mount degraded re-reads.
+        {
+            CrashPointExplorer ex(cfg, canonical_workload(cfg.geom()),
+                                  opts);
+            ChkReport rep = ex.explore_all();
+            print_report("smoke-canonical", rep,
+                         engine_arg + " --workload canonical --policy " +
+                             policy);
+            rc |= !rep.ok();
+        }
+        {
+            CrashPointExplorer ex(
+                cfg,
+                random_workload(cfg.geom(), seed + 1, 14,
+                                fail_dev_in_contract),
+                opts);
+            ChkReport rep = ex.sweep_random(16, seed);
+            print_report("smoke-random", rep,
+                         engine_arg + " --workload random:" +
+                             std::to_string(seed + 1) + ":14 --policy " +
+                             policy);
+            rc |= !rep.ok();
+        }
+        if (fail_dev_in_contract) {
+            ChkOptions dopts = opts;
+            dopts.check_degraded = true;
+            CrashPointExplorer ex(cfg, degraded_workload(cfg.geom(), 1),
+                                  dopts);
+            ChkReport rep = ex.explore_all();
+            print_report("smoke-degraded", rep,
+                         engine_arg +
+                             " --workload degraded:1 --degraded "
+                             "--policy " +
+                             policy);
+            rc |= !rep.ok();
+        }
+    } else if (smoke && phase == ChkOptions::Phase::kRebuild) {
         // Bounded rebuild-phase budget for ctest: power cut at every
         // completion of an unthrottled in-flight rebuild, plus a short
         // throttled sweep so the token-bucket path crosses the cut.

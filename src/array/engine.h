@@ -1,0 +1,431 @@
+/**
+ * @file
+ * ZonedEngine: the generic multi-mode RAID engine over ZNS devices,
+ * implementing the classic levels behind the ZonedArray interface —
+ * RAID-0 (stripe, no redundancy), RAID-1 (zone mirrors), RAID-5/6
+ * (rotating single/dual parity over zones), RAID-10 (mirror pairs,
+ * striped), and a per-zone "auto" mode that mirrors hot zones and
+ * parity-protects cold ones.
+ *
+ * Layout: physical zone 0 of every member holds a replicated,
+ * CRC-guarded write-ahead journal (reset intents/completions, auto-mode
+ * kind decisions, rebuild re-join markers); logical zone z maps to
+ * physical zone z+1 on every member. A stripe occupies the same
+ * su_sectors-row window on every member, with left-symmetric parity
+ * rotation for RAID-5/6.
+ *
+ * Crash guarantees vs the paper's RaiznVolume: the engine keeps tail
+ * (incomplete) stripe parity in memory only, so degraded reads of open
+ * stripes survive a crash only for RAIZN (partial-parity log). The
+ * engine's durability contract is the standard one — acked FUA/flushed
+ * data is readable after power loss on a healthy array; redundant
+ * modes additionally serve it under allowed device failures at
+ * runtime. Zones recovered non-empty at mount are frozen (read-only
+ * until reset).
+ */
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "array/zoned_array.h"
+
+namespace raizn {
+
+struct EngineConfig {
+    RaidMode mode = RaidMode::kRaid5;
+    uint32_t su_sectors = 16; ///< stripe-unit rows per chunk
+    /// auto mode: a zone is "hot" (mirrored) once its reset generation
+    /// reaches this count; colder zones get parity.
+    uint64_t auto_hot_resets = 2;
+};
+
+/// Counters exposed for tests and the cross-mode fault sweep.
+struct EngineStats {
+    uint64_t logical_reads = 0;
+    uint64_t logical_writes = 0;
+    uint64_t sectors_read = 0;
+    uint64_t sectors_written = 0;
+    uint64_t parity_writes = 0; ///< P stripe-unit writes issued
+    uint64_t q_parity_writes = 0; ///< Q stripe-unit writes (RAID-6)
+    uint64_t flushes = 0;
+    uint64_t fua_writes = 0;
+    uint64_t fua_dependency_flushes = 0; ///< flushes forced by FUA acks
+    uint64_t zone_resets = 0;
+    uint64_t zone_finishes = 0;
+    uint64_t wal_appends = 0; ///< journal records written
+    uint64_t degraded_reads = 0;
+    uint64_t reconstructed_sectors = 0;
+    uint64_t io_retries = 0; ///< device commands retried after backoff
+    uint64_t io_timeouts = 0; ///< watchdog deadline expirations
+    uint64_t dev_errors = 0; ///< persistent (post-retry) device errors
+    uint64_t crc_mismatches = 0; ///< reads failing checksum validation
+    uint64_t read_repairs = 0; ///< units re-served from redundancy
+    uint64_t scrubbed_stripes = 0;
+    uint64_t auto_failovers = 0; ///< health-driven failovers started
+    uint64_t spares_promoted = 0;
+    uint64_t zones_rebuilt = 0;
+    uint64_t auto_mirror_zones = 0; ///< auto-mode hot (mirror) decisions
+    uint64_t auto_parity_zones = 0; ///< auto-mode cold (parity) decisions
+
+    template <typename Fn>
+    void
+    for_each_field(Fn fn) const
+    {
+        fn("logical_reads", logical_reads);
+        fn("logical_writes", logical_writes);
+        fn("sectors_read", sectors_read);
+        fn("sectors_written", sectors_written);
+        fn("parity_writes", parity_writes);
+        fn("q_parity_writes", q_parity_writes);
+        fn("flushes", flushes);
+        fn("fua_writes", fua_writes);
+        fn("fua_dependency_flushes", fua_dependency_flushes);
+        fn("zone_resets", zone_resets);
+        fn("zone_finishes", zone_finishes);
+        fn("wal_appends", wal_appends);
+        fn("degraded_reads", degraded_reads);
+        fn("reconstructed_sectors", reconstructed_sectors);
+        fn("io_retries", io_retries);
+        fn("io_timeouts", io_timeouts);
+        fn("dev_errors", dev_errors);
+        fn("crc_mismatches", crc_mismatches);
+        fn("read_repairs", read_repairs);
+        fn("scrubbed_stripes", scrubbed_stripes);
+        fn("auto_failovers", auto_failovers);
+        fn("spares_promoted", spares_promoted);
+        fn("zones_rebuilt", zones_rebuilt);
+        fn("auto_mirror_zones", auto_mirror_zones);
+        fn("auto_parity_zones", auto_parity_zones);
+    }
+
+    /// One-line "key=value" rendering, same format as VolumeStats.
+    std::string dump() const;
+};
+
+class ZonedEngine : public ZonedArray
+{
+  public:
+    /// Per-zone layout class (auto mode decides per generation).
+    enum class ZoneKind : uint8_t {
+        kStripe0, ///< striped, no redundancy (RAID-0)
+        kMirror, ///< full mirror on every member (RAID-1, hot auto)
+        kMirrorPairs, ///< striped across mirror pairs (RAID-10)
+        kParity, ///< rotating single parity (RAID-5, cold auto)
+        kDualParity, ///< rotating P+Q (RAID-6)
+    };
+
+    /**
+     * Formats a fresh array over `devs` (all zoned, identical
+     * geometry, at least the mode's minimum member count; RAID-10
+     * needs an even count). Devices must be factory-blank.
+     */
+    static Result<std::unique_ptr<ZonedEngine>>
+    create(EventLoop *loop, std::vector<BlockDevice *> devs,
+           const EngineConfig &cfg);
+
+    /**
+     * Mounts an existing array: replays the journal (rolling forward
+     * interrupted resets), reconciles per-device write pointers into
+     * per-zone recovered fills, and freezes every non-empty zone
+     * (read-only until reset). Requires data-storing devices.
+     */
+    static Result<std::unique_ptr<ZonedEngine>>
+    mount(EventLoop *loop, std::vector<BlockDevice *> devs,
+          const EngineConfig &cfg);
+
+    ~ZonedEngine() override;
+
+    // ---- Identity / geometry ---------------------------------------
+    RaidMode mode() const override { return cfg_.mode; }
+    uint32_t fault_tolerance() const override
+    {
+        return raizn::fault_tolerance(cfg_.mode);
+    }
+    uint64_t capacity() const override
+    {
+        return static_cast<uint64_t>(nzones_) * zone_cap_;
+    }
+    uint32_t num_zones() const override { return nzones_; }
+    uint64_t zone_capacity() const override { return zone_cap_; }
+    Result<ZoneInfo> zone_info(uint32_t zone) const override;
+
+    // ---- Data path -------------------------------------------------
+    void read(uint64_t lba, uint32_t nsectors, IoCallback cb) override;
+    void write(uint64_t lba, std::vector<uint8_t> data, WriteFlags flags,
+               IoCallback cb) override;
+    void write_len(uint64_t lba, uint32_t nsectors, WriteFlags flags,
+                   IoCallback cb) override;
+    void flush(IoCallback cb) override;
+    void reset_zone(uint32_t zone, IoCallback cb) override;
+    void finish_zone(uint32_t zone, IoCallback cb) override;
+
+    // ---- Fault management ------------------------------------------
+    void mark_device_failed(uint32_t dev) override;
+    int failed_device() const override;
+    bool degraded() const override { return nfailed_ > 0; }
+    /// True once more devices failed than the mode tolerates: IO
+    /// touching lost chunks returns errors from then on.
+    bool data_loss() const { return nfailed_ > fault_tolerance(); }
+    bool device_failed(uint32_t dev) const { return failed_devs_[dev]; }
+    void rebuild_device(uint32_t dev, ProgressCb progress,
+                        StatusCb done) override;
+    Status scrub_all(ScrubReport *report = nullptr) override;
+
+    /// Same shape as RaiznVolume::LifecycleConfig: promote the spare
+    /// and rebuild automatically when the health monitor fails a
+    /// device.
+    struct LifecycleConfig {
+        bool auto_rebuild = true;
+        std::function<void(uint32_t dev, Status s)> on_rebuild_done;
+    };
+    void set_lifecycle(LifecycleConfig lc) { lifecycle_ = std::move(lc); }
+
+    // ---- Introspection (crash oracle + tests) ----------------------
+    const EngineStats &stats() const { return stats_; }
+    const EngineConfig &config() const { return cfg_; }
+    uint32_t su_sectors() const { return cfg_.su_sectors; }
+    /// Physical zone index backing logical `zone` on every member.
+    uint32_t phys_zone(uint32_t zone) const { return zone + 1; }
+    ZoneKind zone_kind(uint32_t zone) const;
+    bool zone_kind_decided(uint32_t zone) const;
+    uint64_t zone_gen(uint32_t zone) const;
+    bool zone_frozen(uint32_t zone) const;
+    bool zone_finished(uint32_t zone) const;
+    /// Trusted-member bitmap for `zone` (mirror staleness tracking).
+    uint64_t zone_participants(uint32_t zone) const;
+    /// Data stripe units per stripe for `zone`'s kind.
+    uint32_t data_units(uint32_t zone) const;
+    /// Member holding data unit `u` of stripe `stripe` (mirror kinds:
+    /// the first mirror of the unit).
+    uint32_t chunk_dev(uint32_t zone, uint64_t stripe, uint32_t u) const;
+    /// Member holding P for the stripe, -1 for non-parity kinds.
+    int parity_dev(uint32_t zone, uint64_t stripe) const;
+    /// Member holding Q for the stripe, -1 unless dual parity.
+    int q_dev(uint32_t zone, uint64_t stripe) const;
+    /// Logical sectors of `zone` readable without member `down`
+    /// (mirror kinds consult recovered per-member fills; parity kinds
+    /// reconstruct at runtime, so the full fill is readable).
+    uint64_t degraded_fill(uint32_t zone, uint32_t down) const;
+    /// Journal slots consumed / available.
+    uint64_t wal_used() const { return wal_next_; }
+    uint64_t wal_slots() const { return wal_slots_; }
+
+  protected:
+    std::string metric_prefix() const override
+    {
+        return std::string(to_string(cfg_.mode));
+    }
+    void link_stats_hook(obs::MetricsRegistry &reg) override;
+    bool is_marked_failed(uint32_t dev) const override
+    {
+        return failed_devs_[dev];
+    }
+
+  private:
+    /**
+     * In-memory accumulator for the open (tail) stripe of a
+     * parity-protected zone: holds the stripe's data until parity is
+     * computed and acknowledged, and serves degraded reads of sectors
+     * whose parity is not on media yet. Volatile by design — this is
+     * the write hole the paper's partial-parity log closes; see
+     * DESIGN.md for the durability contract difference.
+     */
+    struct TailBuf {
+        std::vector<uint8_t> data; ///< su * U sectors (store mode)
+        uint64_t filled = 0; ///< stripe sectors submitted so far
+        bool complete = false;
+        uint32_t parity_pending = 0; ///< parity writes awaiting ack
+    };
+
+    struct WriteCtx;
+    struct FlushBarrier;
+
+    /// One journal slot (a full sector on media, CRC-guarded).
+    struct WalRecord {
+        enum Type : uint32_t {
+            kResetIntent = 1, ///< reset decided; physical resets follow
+            kResetDone = 2, ///< resets done; participants = live set
+            kKind = 3, ///< auto mode: zone kind for this generation
+            kJoin = 4, ///< rebuild re-validated `participants` bits
+        };
+        uint32_t type = 0;
+        uint32_t zone = 0;
+        uint64_t gen = 0;
+        uint32_t kind = 0;
+        uint64_t participants = 0;
+    };
+
+    /// Per-(member, physical zone) submit queue: keeps writes (and
+    /// reads, for read-after-write ordering) strictly sequential.
+    struct Chain {
+        bool busy = false;
+        std::deque<std::pair<IoRequest, IoCallback>> q;
+    };
+
+    /// Logical zone descriptor.
+    struct EZone {
+        uint64_t fill = 0; ///< submitted logical sectors
+        uint64_t gen = 0; ///< reset generation
+        ZoneKind kind = ZoneKind::kParity;
+        bool kind_decided = false; ///< auto: kind journaled for this gen
+        bool finished = false;
+        bool finish_pending = false;
+        bool resetting = false;
+        bool frozen = false; ///< recovered non-empty: read-only
+        /// Members holding current-generation data (bit per slot);
+        /// devices excluded from a degraded reset stay untrusted until
+        /// a rebuild re-joins them.
+        uint64_t participants = ~0ull;
+        std::map<uint64_t, TailBuf> tails; ///< by stripe index
+        std::vector<uint32_t> crcs; ///< per logical sector (store mode)
+        std::vector<bool> crc_valid;
+        /// Mount only: per-member recovered extent — logical sectors
+        /// for mirror kinds, physical rows otherwise.
+        std::vector<uint64_t> rec_fill;
+        /// Serializes the async prefix of zone ops (preflush barriers,
+        /// auto-kind journaling, reset/finish sequences) so chunk
+        /// issuance order matches logical order.
+        std::deque<std::function<void(std::function<void()>)>> wq;
+        bool wq_busy = false;
+    };
+
+    ZonedEngine(EventLoop *loop, std::vector<BlockDevice *> devs,
+                const EngineConfig &cfg);
+
+    // engine.cc — geometry and placement
+    static Status validate(const std::vector<BlockDevice *> &devs,
+                           const EngineConfig &cfg);
+    ZoneKind fixed_kind() const; ///< kind for non-auto modes
+    uint32_t units_of(ZoneKind k) const;
+    /// Absolute device LBA of row `row` in logical zone `zone`.
+    uint64_t dev_row_lba(uint32_t zone, uint64_t row) const;
+    bool dev_live(uint32_t dev) const;
+    /// True when `dev` cannot serve IO for `zone` right now: failed,
+    /// untrusted (stale after an excluded reset), or the rebuild
+    /// target for a zone not rebuilt yet.
+    bool dev_down_for_zone(uint32_t dev, uint32_t zone) const;
+
+    // engine.cc — submit plumbing
+    void chain_submit(uint32_t dev, uint32_t phys_zone, IoRequest req,
+                      IoCallback cb);
+    void chain_advance(uint32_t dev, uint32_t phys_zone);
+    /// Appends an async step to the zone's op queue; the step receives
+    /// a completion thunk it must invoke once issuance is done.
+    void zone_enqueue(uint32_t zone,
+                      std::function<void(std::function<void()>)> step);
+    void zone_advance(uint32_t zone);
+    uint64_t track_io();
+    void untrack_io(uint64_t id);
+    /// Waits for every currently-tracked data IO, then flushes all
+    /// live members, then `cb`.
+    void barrier_flush(IoCallback cb);
+    void issue_barrier_devices(std::shared_ptr<FlushBarrier> b);
+
+    // engine.cc — journal
+    void append_wal(WalRecord rec, StatusCb cb);
+    static std::vector<uint8_t> encode_wal(const WalRecord &rec);
+    static bool decode_wal(const uint8_t *sector, WalRecord *out);
+
+    // engine.cc — write path
+    void write_internal(uint64_t lba, std::vector<uint8_t> data,
+                        uint32_t nsectors, WriteFlags flags,
+                        IoCallback cb);
+    void decide_zone_kind(uint32_t zone, std::function<void(Status)> cb);
+    /// Synchronously enqueues the physical chunk writes for one
+    /// logical write (data may be empty in timing mode).
+    void issue_write(uint32_t zone, uint64_t off,
+                     std::shared_ptr<std::vector<uint8_t>> data,
+                     uint32_t nsectors, std::shared_ptr<WriteCtx> ctx);
+    /// Accumulates `n` stripe sectors at stripe position `pos` into
+    /// the zone's tail buffer; completes the stripe when full.
+    void note_tail(uint32_t zone, uint64_t pos, uint32_t n,
+                   const uint8_t *bytes);
+    void complete_stripe(uint32_t zone, uint64_t stripe);
+    void chunk_done(std::shared_ptr<WriteCtx> ctx, uint32_t dev,
+                    const Status &s);
+    void finish_write(std::shared_ptr<WriteCtx> ctx);
+    void note_written_crcs(uint32_t zone, uint64_t off,
+                           const uint8_t *bytes, uint32_t nsectors);
+
+    // engine.cc — read path
+    using DataCb = std::function<void(Status, std::vector<uint8_t>)>;
+    void read_segment(uint32_t zone, uint64_t off, uint32_t len,
+                      DataCb cb);
+    /// Tries each candidate member in turn (CRC-verifying in store
+    /// mode); `off` is in logical sectors for kMirror.
+    void read_mirror(uint32_t zone, uint64_t off, uint32_t len,
+                     std::shared_ptr<std::vector<uint32_t>> srcs,
+                     size_t idx, DataCb cb);
+    /// Reads rows [o, o+n) of data unit `u` in `stripe`, falling back
+    /// to the tail buffer or parity reconstruction when the member is
+    /// down or the payload fails CRC.
+    void read_chunk(uint32_t zone, uint64_t stripe, uint32_t u,
+                    uint64_t o, uint32_t n, DataCb cb);
+    void reconstruct_chunk(uint32_t zone, uint64_t stripe, uint32_t u,
+                           uint64_t o, uint32_t n, DataCb cb);
+    bool crc_range_ok(uint32_t zone, uint64_t off, const uint8_t *bytes,
+                      uint32_t nsectors) const;
+    /// Members holding a replica of data unit `u` (placement only, no
+    /// liveness filtering).
+    std::vector<uint32_t> unit_devs(uint32_t zone, uint64_t stripe,
+                                    uint32_t u) const;
+    /// Filters `cands` down to members able to serve rows < `row_end`.
+    std::vector<uint32_t> mirror_sources(uint32_t zone, uint64_t row_end,
+                                         const std::vector<uint32_t> &cands)
+        const;
+
+    // engine_recover.cc — mount, rebuild, scrub
+    Status run_mount();
+    Status replay_wal();
+    Status recover_zone(uint32_t zone);
+    void rebuild_zone(uint32_t zone);
+    void rebuild_mirror_rows(uint32_t zone, uint64_t row, uint64_t limit,
+                             uint32_t src, StatusCb done);
+    void rebuild_stripe_from(uint32_t zone, uint64_t stripe,
+                             uint64_t limit, StatusCb done);
+    void copy_wal_to_target(StatusCb done);
+    void finish_rebuild(Status s);
+    void maybe_start_auto_rebuild(uint32_t dev);
+    Status scrub_zone(uint32_t zone, ScrubReport *rep);
+
+    EngineConfig cfg_;
+    uint32_t nzones_ = 0; ///< logical zones
+    uint64_t zone_cap_ = 0; ///< logical sectors per zone
+    uint64_t phys_cap_ = 0; ///< physical sectors per member zone
+    bool store_data_ = true;
+
+    std::vector<EZone> zones_;
+    std::vector<bool> failed_devs_;
+    uint32_t nfailed_ = 0;
+    EngineStats stats_;
+
+    // Journal (physical zone 0, replicated).
+    uint64_t wal_slots_ = 0;
+    uint64_t wal_next_ = 0;
+
+    // Per-(member, phys zone) sequential submit chains.
+    std::map<uint64_t, Chain> chains_;
+
+    // Flush barrier bookkeeping: every data-path device write gets an
+    // id at enqueue time; a barrier snapshots the live set and fires
+    // once the snapshot drains.
+    uint64_t next_io_id_ = 1;
+    std::set<uint64_t> inflight_ios_;
+    std::vector<std::shared_ptr<FlushBarrier>> barriers_;
+
+    // Rebuild state.
+    bool rebuilding_ = false;
+    int rebuild_dev_ = -1;
+    std::vector<bool> zone_rebuilt_;
+    int rebuild_cur_zone_ = -1;
+    ProgressCb rebuild_progress_;
+    StatusCb rebuild_done_;
+    uint64_t rebuild_wal_copied_ = 0;
+    LifecycleConfig lifecycle_;
+};
+
+} // namespace raizn

@@ -1,0 +1,89 @@
+#include "array/gf256.h"
+
+namespace raizn::gf256 {
+
+namespace {
+
+struct Tables {
+    uint8_t exp[512]; ///< doubled so exp[a+b] needs no mod
+    uint8_t log[256];
+
+    Tables()
+    {
+        uint16_t x = 1;
+        for (unsigned i = 0; i < 255; ++i) {
+            exp[i] = static_cast<uint8_t>(x);
+            log[x] = static_cast<uint8_t>(i);
+            x <<= 1;
+            if (x & 0x100)
+                x ^= 0x11d;
+        }
+        for (unsigned i = 255; i < 512; ++i)
+            exp[i] = exp[i - 255];
+        log[0] = 0; // never consulted for 0
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables t;
+    return t;
+}
+
+} // namespace
+
+uint8_t
+mul(uint8_t a, uint8_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const Tables &t = tables();
+    return t.exp[t.log[a] + t.log[b]];
+}
+
+uint8_t
+inv(uint8_t a)
+{
+    const Tables &t = tables();
+    return t.exp[255 - t.log[a]];
+}
+
+uint8_t
+exp2(unsigned e)
+{
+    return tables().exp[e % 255];
+}
+
+void
+accumulate(uint8_t *acc, const uint8_t *src, size_t len,
+           unsigned coeff_exp)
+{
+    const Tables &t = tables();
+    unsigned ce = coeff_exp % 255;
+    for (size_t i = 0; i < len; ++i) {
+        uint8_t s = src[i];
+        if (s != 0)
+            acc[i] ^= t.exp[t.log[s] + ce];
+    }
+}
+
+void
+solve_two(uint8_t *dx, uint8_t *dy, const uint8_t *p, const uint8_t *q,
+          size_t len, unsigned x, unsigned y)
+{
+    // With P' = Dx ^ Dy and Q' = g^x*Dx ^ g^y*Dy:
+    //   Dx = (g^(y-x) * P' ^ g^(-x) * Q') / (g^(y-x) ^ 1)
+    //   Dy = P' ^ Dx
+    uint8_t gyx = exp2(255 + y - x);
+    uint8_t gnx = exp2(255 - (x % 255));
+    uint8_t denom_inv = inv(static_cast<uint8_t>(gyx ^ 1));
+    for (size_t i = 0; i < len; ++i) {
+        uint8_t vx = mul(denom_inv, static_cast<uint8_t>(
+                                        mul(gyx, p[i]) ^ mul(gnx, q[i])));
+        dx[i] = vx;
+        dy[i] = p[i] ^ vx;
+    }
+}
+
+} // namespace raizn::gf256

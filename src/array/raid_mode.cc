@@ -1,0 +1,65 @@
+#include "array/raid_mode.h"
+
+namespace raizn {
+
+std::string_view
+to_string(RaidMode mode)
+{
+    switch (mode) {
+      case RaidMode::kRaid0: return "raid0";
+      case RaidMode::kRaid1: return "raid1";
+      case RaidMode::kRaid5: return "raid5";
+      case RaidMode::kRaid6: return "raid6";
+      case RaidMode::kRaid10: return "raid10";
+      case RaidMode::kAuto: return "auto";
+      case RaidMode::kRaizn: return "raizn";
+      case RaidMode::kMdraid: return "mdraid";
+    }
+    return "?";
+}
+
+bool
+parse_raid_mode(const std::string &s, RaidMode *out)
+{
+    if (s == "raid0") {
+        *out = RaidMode::kRaid0;
+    } else if (s == "raid1") {
+        *out = RaidMode::kRaid1;
+    } else if (s == "raid5") {
+        *out = RaidMode::kRaid5;
+    } else if (s == "raid6") {
+        *out = RaidMode::kRaid6;
+    } else if (s == "raid10") {
+        *out = RaidMode::kRaid10;
+    } else if (s == "auto") {
+        *out = RaidMode::kAuto;
+    } else if (s == "raizn") {
+        *out = RaidMode::kRaizn;
+    } else if (s == "mdraid") {
+        *out = RaidMode::kMdraid;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+uint32_t
+fault_tolerance(RaidMode mode)
+{
+    switch (mode) {
+      case RaidMode::kRaid0:
+        return 0;
+      case RaidMode::kRaid6:
+        return 2;
+      case RaidMode::kRaid1:
+      case RaidMode::kRaid5:
+      case RaidMode::kRaid10:
+      case RaidMode::kAuto:
+      case RaidMode::kRaizn:
+      case RaidMode::kMdraid:
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace raizn

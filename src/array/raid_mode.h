@@ -1,0 +1,38 @@
+/**
+ * @file
+ * RAID mode taxonomy for the pluggable ZonedArray engines. kRaizn and
+ * kMdraid name the two hand-built volume stacks; the rest are the
+ * generic zoned engines implemented by ZonedEngine.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace raizn {
+
+enum class RaidMode : uint8_t {
+    kRaid0, ///< stripe, no redundancy
+    kRaid1, ///< zone mirrors across all members
+    kRaid5, ///< rotating single parity over zones
+    kRaid6, ///< rotating dual (P+Q) parity over zones
+    kRaid10, ///< mirror pairs, striped across pairs
+    kAuto, ///< per-zone: RAID-1 when hot, RAID-5/6 when cold
+    kRaizn, ///< the paper's volume (parity + partial-parity log)
+    kMdraid, ///< kernel-md-style RAID-5 over conventional devices
+};
+
+std::string_view to_string(RaidMode mode);
+
+/// Parses "raid0"/"raid1"/"raid5"/"raid6"/"raid10"/"auto"/"raizn"/
+/// "mdraid". Returns false (leaving `out` untouched) on anything else.
+bool parse_raid_mode(const std::string &s, RaidMode *out);
+
+/// Device failures the mode tolerates while staying readable. RAID-10
+/// can survive more than one when failures land in distinct mirror
+/// pairs, but only one is guaranteed. kAuto reports its worst zone
+/// kind (parity => 1).
+uint32_t fault_tolerance(RaidMode mode);
+
+} // namespace raizn

@@ -1,0 +1,239 @@
+#include "array/zoned_array.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "sim/event_loop.h"
+
+namespace raizn {
+
+namespace {
+
+/// Fallback span label when the submitter didn't annotate a stage.
+const char *
+default_dev_stage(IoOp op)
+{
+    switch (op) {
+    case IoOp::kRead:
+        return "dev.read";
+    case IoOp::kWrite:
+        return "dev.write";
+    case IoOp::kAppend:
+        return "dev.append";
+    case IoOp::kFlush:
+        return "dev.flush";
+    case IoOp::kZoneReset:
+        return "dev.zone_reset";
+    case IoOp::kZoneFinish:
+        return "dev.zone_finish";
+    case IoOp::kZoneOpen:
+        return "dev.zone_open";
+    case IoOp::kZoneClose:
+        return "dev.zone_close";
+    }
+    return "dev.io";
+}
+
+} // namespace
+
+ZonedArray::ZonedArray(EventLoop *loop, std::vector<BlockDevice *> devs,
+                       StatCells cells)
+    : loop_(loop), devs_(std::move(devs)), cells_(cells)
+{
+    health_ = std::make_unique<HealthMonitor>(
+        static_cast<uint32_t>(devs_.size()));
+    health_->set_escalation([this](uint32_t dev, HealthEvent ev) {
+        on_health_event(dev, ev);
+    });
+    retrier_ = std::make_unique<IoRetrier>(loop_, RetryPolicy{},
+                                           health_.get(),
+                                           cells_.io_retries,
+                                           cells_.io_timeouts);
+    alive_ = std::make_shared<bool>(true);
+}
+
+ZonedArray::~ZonedArray()
+{
+    *alive_ = false;
+}
+
+Result<ZoneInfo>
+ZonedArray::zone_info(uint32_t zone) const
+{
+    (void)zone;
+    return Status(StatusCode::kNotSupported,
+                  "array is not zone-addressable");
+}
+
+void
+ZonedArray::reset_zone(uint32_t zone, IoCallback cb)
+{
+    (void)zone;
+    loop_->schedule_after(1, [cb = std::move(cb)] {
+        IoResult r;
+        r.status = Status(StatusCode::kNotSupported,
+                          "zone reset unsupported on this array");
+        cb(std::move(r));
+    });
+}
+
+void
+ZonedArray::finish_zone(uint32_t zone, IoCallback cb)
+{
+    (void)zone;
+    loop_->schedule_after(1, [cb = std::move(cb)] {
+        IoResult r;
+        r.status = Status(StatusCode::kNotSupported,
+                          "zone finish unsupported on this array");
+        cb(std::move(r));
+    });
+}
+
+void
+ZonedArray::rebuild_device(uint32_t dev, ProgressCb progress, StatusCb done)
+{
+    (void)dev;
+    (void)progress;
+    loop_->schedule_after(1, [done = std::move(done)] {
+        if (done)
+            done(Status(StatusCode::kNotSupported,
+                        "rebuild unsupported on this array"));
+    });
+}
+
+Status
+ZonedArray::scrub_all(ScrubReport *report)
+{
+    (void)report;
+    return Status(StatusCode::kNotSupported,
+                  "scrub unsupported on this array");
+}
+
+void
+ZonedArray::set_resilience(const ResilienceConfig &rc)
+{
+    health_ = std::make_unique<HealthMonitor>(
+        static_cast<uint32_t>(devs_.size()), rc.health);
+    health_->set_escalation([this](uint32_t dev, HealthEvent ev) {
+        on_health_event(dev, ev);
+    });
+    retrier_ = std::make_unique<IoRetrier>(loop_, rc.retry, health_.get(),
+                                           cells_.io_retries,
+                                           cells_.io_timeouts);
+    on_resilience_changed();
+    // The monitor was replaced: any linked health counters would
+    // dangle, so refresh the registry bindings in place.
+    if (reg_ != nullptr)
+        attach_observability(reg_, trace_);
+}
+
+void
+ZonedArray::attach_observability(obs::MetricsRegistry *reg,
+                                 obs::TraceRecorder *trace)
+{
+    reg_ = reg;
+    trace_ = trace;
+    dev_obs_.clear();
+    write_lat_ = nullptr;
+    read_lat_ = nullptr;
+    if (reg == nullptr)
+        return;
+    const std::string self = metric_prefix();
+    link_stats_hook(*reg);
+    write_lat_ = reg->latency(self + ".write.total_ns");
+    read_lat_ = reg->latency(self + ".read.total_ns");
+    dev_obs_.resize(devs_.size());
+    const std::string dev_ns = dev_metric_prefix();
+    for (uint32_t d = 0; d < devs_.size(); ++d) {
+        std::string prefix = strprintf("%s.dev%u", dev_ns.c_str(), d);
+        obs::link_stats(*reg, prefix, devs_[d]->stats());
+        dev_obs_[d].read_ns = reg->latency(prefix + ".read_ns");
+        dev_obs_[d].write_ns = reg->latency(prefix + ".write_ns");
+        dev_obs_[d].flush_ns = reg->latency(prefix + ".flush_ns");
+        dev_obs_[d].other_ns = reg->latency(prefix + ".other_ns");
+        if (link_health_metrics())
+            obs::link_stats(*reg,
+                            strprintf("%s.health.dev%u", self.c_str(), d),
+                            health_->device(d));
+    }
+}
+
+void
+ZonedArray::dev_submit(uint32_t dev, IoRequest req, IoCallback cb)
+{
+    if (trace_ != nullptr || !dev_obs_.empty()) {
+        const char *stage = req.trace_stage != nullptr
+            ? req.trace_stage
+            : default_dev_stage(req.op);
+        uint64_t token = trace_ != nullptr
+            ? trace_->begin_span(stage, req.trace_req,
+                                 obs::kTrackDevBase + dev, loop_->now())
+            : 0;
+        obs::LatencyMetric *lat = nullptr;
+        if (!dev_obs_.empty()) {
+            const DevObs &o = dev_obs_[dev];
+            switch (req.op) {
+            case IoOp::kRead:
+                lat = o.read_ns;
+                break;
+            case IoOp::kWrite:
+            case IoOp::kAppend:
+                lat = o.write_ns;
+                break;
+            case IoOp::kFlush:
+                lat = o.flush_ns;
+                break;
+            default:
+                lat = o.other_ns;
+                break;
+            }
+        }
+        Tick t0 = loop_->now();
+        cb = [this, token, lat, t0, inner = std::move(cb)](IoResult r) {
+            Tick now = loop_->now();
+            if (trace_ != nullptr && token != 0)
+                trace_->end_span(token, now);
+            if (lat != nullptr)
+                lat->record(now - t0);
+            inner(std::move(r));
+        };
+    }
+    retrier_->submit(devs_[dev], dev, std::move(req), std::move(cb));
+}
+
+bool
+ZonedArray::escalate_dev_error(uint32_t dev, const Status &s)
+{
+    ++*cells_.dev_errors;
+    if (s.code() == StatusCode::kOffline) {
+        // An abrupt device death is non-retryable and bypasses the
+        // retrier's health accounting; record the terminal failure so
+        // the health trail matches the failover decision.
+        health_->record_op_failure(dev);
+        mark_device_failed(dev);
+    } else if (health_->should_fail(dev)) {
+        mark_device_failed(dev);
+    }
+    return is_marked_failed(dev);
+}
+
+void
+ZonedArray::promote_spare_base(uint32_t dev)
+{
+    devs_[dev] = spare_;
+    spare_ = nullptr;
+    health_->reset_device(dev);
+    ++*cells_.spares_promoted;
+}
+
+void
+ZonedArray::on_health_event(uint32_t dev, HealthEvent ev)
+{
+    if (ev == HealthEvent::kFailed &&
+        failed_device() != static_cast<int>(dev))
+        mark_device_failed(dev);
+}
+
+} // namespace raizn

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * ZonedArray: the shared interface every RAID engine in this repo sits
+ * behind — the paper's RaiznVolume, the md-raid comparison stack, and
+ * the generic ZonedEngine modes (RAID-0/1/5/6/10, auto). The base owns
+ * everything the modes would otherwise re-implement: the retry/backoff
+ * + watchdog submit path (src/fault), per-device health tracking with
+ * escalation into mark_device_failed, hot-spare bookkeeping, and the
+ * metrics/trace attachment (per-device DeviceStats + latency
+ * histograms, health counters, total-latency histograms).
+ *
+ * Subclasses provide the data path (read/write/flush/zone management),
+ * the failure semantics (mark_device_failed / rebuild), and a stats
+ * struct; the base reaches into that struct through StatCells so each
+ * engine keeps its own counter layout and metric names.
+ */
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "array/raid_mode.h"
+#include "fault/health.h"
+#include "fault/retry.h"
+#include "zns/block_device.h"
+
+namespace raizn {
+
+namespace obs {
+class MetricsRegistry;
+class TraceRecorder;
+class LatencyMetric;
+class Timeline;
+} // namespace obs
+
+class EventLoop;
+
+/// Flags on a logical sequential write (kernel REQ_FUA / REQ_PREFLUSH).
+struct WriteFlags {
+    bool fua = false;
+    bool preflush = false;
+};
+
+using StatusCb = std::function<void(Status)>;
+
+class ZonedArray
+{
+  public:
+    using ProgressCb = std::function<void(uint64_t done, uint64_t total)>;
+
+    /// Retry/backoff, watchdog, and health-escalation knobs.
+    struct ResilienceConfig {
+        RetryPolicy retry;
+        HealthConfig health;
+    };
+
+    /// Outcome of one scrub pass over the written stripes.
+    struct ScrubReport {
+        uint64_t stripes_scanned = 0;
+        uint64_t parity_mismatches = 0; ///< XOR(data) != parity
+        uint64_t crc_mismatches = 0; ///< units failing their checksums
+        uint64_t repaired_units = 0; ///< data units read-repaired
+        uint64_t repaired_parity = 0; ///< parity units rewritten
+        uint64_t unrecoverable = 0; ///< mismatches scrub could not fix
+    };
+
+    virtual ~ZonedArray();
+    ZonedArray(const ZonedArray &) = delete;
+    ZonedArray &operator=(const ZonedArray &) = delete;
+
+    // ---- Identity / geometry ---------------------------------------
+    virtual RaidMode mode() const = 0;
+    /// Device failures this array keeps serving through.
+    virtual uint32_t fault_tolerance() const = 0;
+    /// False for arrays over conventional devices (md-raid): no zones,
+    /// reset/finish are unsupported and writes may overwrite.
+    virtual bool zoned() const { return true; }
+    virtual uint64_t capacity() const = 0;
+    virtual uint32_t num_zones() const { return 0; }
+    virtual uint64_t zone_capacity() const { return 0; }
+    /// Report Zones for the logical device (zoned arrays only).
+    virtual Result<ZoneInfo> zone_info(uint32_t zone) const;
+
+    // ---- Data path -------------------------------------------------
+    virtual void read(uint64_t lba, uint32_t nsectors, IoCallback cb) = 0;
+    /// Sequential zone write (zoned) / positional write (conventional);
+    /// `data` empty = timing-only.
+    virtual void write(uint64_t lba, std::vector<uint8_t> data,
+                       WriteFlags flags, IoCallback cb) = 0;
+    virtual void write_len(uint64_t lba, uint32_t nsectors,
+                           WriteFlags flags, IoCallback cb) = 0;
+    virtual void flush(IoCallback cb) = 0;
+    virtual void reset_zone(uint32_t zone, IoCallback cb);
+    virtual void finish_zone(uint32_t zone, IoCallback cb);
+
+    // ---- Fault management ------------------------------------------
+    /// Marks a device failed: reads reconstruct, writes omit it.
+    virtual void mark_device_failed(uint32_t dev) = 0;
+    /// First failed device, -1 when the array is healthy.
+    virtual int failed_device() const = 0;
+    virtual bool degraded() const { return failed_device() >= 0; }
+    /// Rebuilds a replaced device from redundancy.
+    virtual void rebuild_device(uint32_t dev, ProgressCb progress,
+                                StatusCb done);
+    /// Verifies redundancy (parity equations / mirror equality / CRC
+    /// catalogs) across written stripes.
+    virtual Status scrub_all(ScrubReport *report = nullptr);
+
+    /// Replaces the retry policy and health thresholds (resets health
+    /// history). Call before issuing IO.
+    void set_resilience(const ResilienceConfig &rc);
+    const HealthMonitor &health() const { return *health_; }
+
+    /**
+     * Attaches a hot spare (a fresh, formatted-blank device with the
+     * same geometry). Non-owning; the spare must outlive the array or
+     * be detached with set_spare(nullptr).
+     */
+    void set_spare(BlockDevice *spare) { spare_ = spare; }
+    bool has_spare() const { return spare_ != nullptr; }
+
+    // ---- Observability ---------------------------------------------
+    /**
+     * Hooks this array into the unified observability layer (src/obs):
+     * the subclass stats struct under "<metric_prefix>.*", per-device
+     * DeviceStats under "<dev_metric_prefix>.dev<i>.*" plus latency
+     * histograms, and (when link_health_metrics()) per-device health
+     * counters under "<metric_prefix>.health.dev<i>.*". Either pointer
+     * may be null; pass nulls to detach.
+     */
+    void attach_observability(obs::MetricsRegistry *reg,
+                              obs::TraceRecorder *trace);
+    obs::TraceRecorder *trace_recorder() const { return trace_; }
+    /// Registers gauge-refresh probes for timeseries sampling.
+    virtual void install_timeline(obs::Timeline *tl) { (void)tl; }
+
+    // ---- Introspection ---------------------------------------------
+    uint32_t num_devices() const
+    {
+        return static_cast<uint32_t>(devs_.size());
+    }
+    BlockDevice *device(uint32_t i) const { return devs_[i]; }
+
+  protected:
+    /**
+     * Pointers into the subclass's stats struct for the counters the
+     * base maintains. Formed in the subclass's member-init list before
+     * the stats struct is initialized — legal (no reads happen until
+     * IO runs) and it keeps each engine's counter layout and metric
+     * names intact.
+     */
+    struct StatCells {
+        uint64_t *io_retries = nullptr;
+        uint64_t *io_timeouts = nullptr;
+        uint64_t *dev_errors = nullptr;
+        uint64_t *spares_promoted = nullptr;
+    };
+
+    ZonedArray(EventLoop *loop, std::vector<BlockDevice *> devs,
+               StatCells cells);
+
+    /// Data-path device submit: stage span + per-device latency, then
+    /// the retrier/watchdog. Subclass admin paths may bypass it.
+    void dev_submit(uint32_t dev, IoRequest req, IoCallback cb);
+
+    /**
+     * Called with a persistent (post-retry) device error: counts it
+     * and escalates to mark_device_failed when the health evidence
+     * warrants. Returns true when `dev` is now treated as failed, i.e.
+     * the caller should degrade instead of propagating.
+     */
+    bool escalate_dev_error(uint32_t dev, const Status &s);
+
+    /// Swaps the attached spare into slot `dev` and resets its health
+    /// history. Subclasses wrap this with their own bookkeeping.
+    void promote_spare_base(uint32_t dev);
+
+    // ---- Subclass hooks --------------------------------------------
+    /// Metric namespace for the array's own stats ("raizn", "raid5").
+    virtual std::string metric_prefix() const = 0;
+    /// Namespace for per-device stats ("zns" for raizn — historical —
+    /// and the metric prefix for everything else).
+    virtual std::string dev_metric_prefix() const
+    {
+        return metric_prefix();
+    }
+    /// Links the subclass stats struct into `reg` (obs::link_stats).
+    virtual void link_stats_hook(obs::MetricsRegistry &reg) = 0;
+    /// Whether per-device health counters get registry entries.
+    virtual bool link_health_metrics() const { return true; }
+    /// Re-wire anything that caches the retrier (set_resilience
+    /// recreates it).
+    virtual void on_resilience_changed() {}
+    /// Health-monitor escalation edges land here (invoked only after
+    /// construction completes). Default: fail the device on kFailed.
+    virtual void on_health_event(uint32_t dev, HealthEvent ev);
+    /// Whether `dev` is the/a failed device from escalate_dev_error's
+    /// point of view. Multi-failure engines override.
+    virtual bool is_marked_failed(uint32_t dev) const
+    {
+        return failed_device() == static_cast<int>(dev);
+    }
+
+    EventLoop *loop_;
+    std::vector<BlockDevice *> devs_;
+    StatCells cells_;
+
+    // Resilience layer (hoisted from RaiznVolume / MdVolume).
+    std::unique_ptr<HealthMonitor> health_;
+    std::unique_ptr<IoRetrier> retrier_;
+    BlockDevice *spare_ = nullptr; ///< non-owning hot spare
+
+    // Observability: null when detached. Latency handles are resolved
+    // once in attach_observability so the hot path never performs a
+    // name lookup; the registry pointer is kept so health counters can
+    // be re-linked when set_resilience recreates the monitor.
+    obs::MetricsRegistry *reg_ = nullptr;
+    obs::TraceRecorder *trace_ = nullptr;
+    struct DevObs {
+        obs::LatencyMetric *read_ns = nullptr;
+        obs::LatencyMetric *write_ns = nullptr;
+        obs::LatencyMetric *flush_ns = nullptr;
+        obs::LatencyMetric *other_ns = nullptr;
+    };
+    std::vector<DevObs> dev_obs_;
+    obs::LatencyMetric *write_lat_ = nullptr; ///< <prefix>.write.total_ns
+    obs::LatencyMetric *read_lat_ = nullptr; ///< <prefix>.read.total_ns
+
+    /// Guards scheduled events against array destruction.
+    std::shared_ptr<bool> alive_;
+};
+
+} // namespace raizn

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "array/engine.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "obs/trace.h"
@@ -41,7 +42,7 @@ hash_event(uint64_t h, uint32_t dev, const ZnsTraceEvent &ev)
 /// the event loop, and abandoned post-crash events are never run.
 struct Driver {
     const ChkWorkload *wl;
-    RaiznVolume *vol;
+    ZonedArray *vol;
     EventLoop *loop;
     ShadowVolume *shadow;
     size_t next = 0;
@@ -69,7 +70,7 @@ struct Driver {
         const ChkOp op = (*wl)[next++];
         switch (op.kind) {
           case OpKind::kWrite: {
-            uint64_t lba = vol->layout().zone_start_lba(op.zone) + op.off;
+            uint64_t lba = vol->zone_info(op.zone).value().start + op.off;
             std::vector<uint8_t> data =
                 pattern_data(op.nsectors, op.seed);
             std::vector<uint64_t> snap;
@@ -148,16 +149,59 @@ struct Driver {
 ChkGeom
 ChkConfig::geom() const
 {
-    RaiznConfig rc;
-    rc.num_devices = num_devices;
-    rc.su_sectors = su_sectors;
     ChkGeom g;
-    g.num_zones = nzones - rc.md_zones_per_device;
-    g.zone_cap = static_cast<uint64_t>(rc.data_units()) * zone_cap;
-    g.stripe_sectors =
-        static_cast<uint64_t>(rc.data_units()) * su_sectors;
     g.su_sectors = su_sectors;
     g.num_devices = num_devices;
+    if (engine == RaidMode::kRaizn) {
+        RaiznConfig rc;
+        rc.num_devices = num_devices;
+        rc.su_sectors = su_sectors;
+        g.num_zones = nzones - rc.md_zones_per_device;
+        g.zone_cap = static_cast<uint64_t>(rc.data_units()) * zone_cap;
+        g.stripe_sectors =
+            static_cast<uint64_t>(rc.data_units()) * su_sectors;
+        return g;
+    }
+    // ZonedEngine: physical zone 0 is the journal, logical zone z maps
+    // to physical zone z+1. Logical capacity mirrors the engine's own
+    // per-mode math (whole stripe-unit rows times data units).
+    g.num_zones = nzones - 1;
+    const uint64_t z = zone_cap;
+    const uint64_t su = su_sectors;
+    const uint64_t n = num_devices;
+    uint64_t units = 1;
+    switch (engine) {
+      case RaidMode::kRaid0:
+        units = n;
+        g.zone_cap = (z / su) * su * n;
+        break;
+      case RaidMode::kRaid1:
+        units = 1;
+        g.zone_cap = z;
+        break;
+      case RaidMode::kRaid5:
+        units = n - 1;
+        g.zone_cap = (z / su) * su * (n - 1);
+        break;
+      case RaidMode::kRaid6:
+        units = n - 2;
+        g.zone_cap = (z / su) * su * (n - 2);
+        break;
+      case RaidMode::kRaid10:
+        units = n / 2;
+        g.zone_cap = (z / su) * su * (n / 2);
+        break;
+      case RaidMode::kAuto:
+        // Aligned down to the parity stripe so either per-zone kind
+        // (mirror or parity) fits the same logical capacity.
+        units = n - 1;
+        g.zone_cap = (z / (su * (n - 1))) * su * (n - 1);
+        break;
+      default:
+        g.zone_cap = 0;
+        break;
+    }
+    g.stripe_sectors = su * units;
     return g;
 }
 
@@ -186,7 +230,25 @@ struct CrashPointExplorer::Array {
     /// Fault decorators over `devs` (workload phase only; empty when
     /// no faults are configured).
     std::vector<std::unique_ptr<FaultInjectingDevice>> fdevs;
-    std::unique_ptr<RaiznVolume> vol;
+    std::unique_ptr<ZonedArray> vol;
+    /// Typed views of `vol` — exactly one is non-null once created.
+    RaiznVolume *rvol = nullptr;
+    ZonedEngine *evol = nullptr;
+
+    void
+    set_vol(std::unique_ptr<RaiznVolume> v)
+    {
+        rvol = v.get();
+        evol = nullptr;
+        vol = std::move(v);
+    }
+    void
+    set_vol(std::unique_ptr<ZonedEngine> v)
+    {
+        evol = v.get();
+        rvol = nullptr;
+        vol = std::move(v);
+    }
 
     std::vector<ZnsDevice *>
     zns_ptrs() const
@@ -249,21 +311,47 @@ CrashPointExplorer::drive(Array &arr, ShadowVolume &shadow,
             ptrs.push_back(arr.fdevs.back().get());
         }
     }
-    RaiznConfig rc;
-    rc.num_devices = cfg_.num_devices;
-    rc.su_sectors = cfg_.su_sectors;
-    auto created = RaiznVolume::create(arr.loop.get(), ptrs, rc);
-    if (!created.is_ok()) {
-        rep->failures.push_back(
-            {crash_at, "setup", created.status().to_string()});
-        return false;
+    if (cfg_.engine == RaidMode::kRaizn) {
+        RaiznConfig rc;
+        rc.num_devices = cfg_.num_devices;
+        rc.su_sectors = cfg_.su_sectors;
+        auto created = RaiznVolume::create(arr.loop.get(), ptrs, rc);
+        if (!created.is_ok()) {
+            rep->failures.push_back(
+                {crash_at, "setup", created.status().to_string()});
+            return false;
+        }
+        arr.set_vol(std::move(created).value());
+        arr.rvol->set_debug_fault(opts_.fault);
+    } else {
+        if (opts_.phase == ChkOptions::Phase::kRebuild) {
+            rep->failures.push_back(
+                {crash_at, "setup",
+                 "rebuild-phase exploration needs the raizn engine "
+                 "(persistent rebuild checkpoints)"});
+            return false;
+        }
+        if (opts_.fault != RaiznVolume::DebugFault::kNone) {
+            rep->failures.push_back(
+                {crash_at, "setup",
+                 "debug faults are raizn-specific (partial-parity log)"});
+            return false;
+        }
+        EngineConfig ec;
+        ec.mode = cfg_.engine;
+        ec.su_sectors = cfg_.su_sectors;
+        auto created = ZonedEngine::create(arr.loop.get(), ptrs, ec);
+        if (!created.is_ok()) {
+            rep->failures.push_back(
+                {crash_at, "setup", created.status().to_string()});
+            return false;
+        }
+        arr.set_vol(std::move(created).value());
     }
-    arr.vol = std::move(created).value();
-    arr.vol->set_debug_fault(opts_.fault);
     if (run_trace_ != nullptr)
         arr.vol->attach_observability(nullptr, run_trace_);
     if (inject) {
-        RaiznVolume::ResilienceConfig rcfg;
+        ZonedArray::ResilienceConfig rcfg;
         if (opts_.faults.stuck_rate > 0 || opts_.fail_slow_dev >= 0) {
             // Serial workload => tiny queue depth: a 10ms deadline
             // catches stuck IOs without tripping on queueing.
@@ -330,7 +418,7 @@ CrashPointExplorer::drive(Array &arr, ShadowVolume &shadow,
             if (opts_.rebuild_rate > 0) {
                 RaiznVolume::LifecycleConfig lc;
                 lc.throttle.rate_sectors_per_sec = opts_.rebuild_rate;
-                arr.vol->set_lifecycle(lc);
+                arr.rvol->set_lifecycle(lc);
             }
             install_traces();
             bool rb_done = false;
@@ -440,7 +528,10 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
     // Snapshot acknowledged generations, then cut power everywhere.
     std::vector<uint64_t> pre_gens;
     for (uint32_t z = 0; z < g.num_zones; ++z)
-        pre_gens.push_back(arr.vol->gen_counters().get(z));
+        pre_gens.push_back(arr.rvol ? arr.rvol->gen_counters().get(z)
+                                    : arr.evol->zone_gen(z));
+    arr.rvol = nullptr;
+    arr.evol = nullptr;
     arr.vol.reset();
     for (uint32_t d = 0; d < cfg_.num_devices; ++d) {
         PowerLossSpec spec;
@@ -457,14 +548,29 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
     for (auto &dev : arr.devs)
         dev->reattach(arr.loop.get());
 
-    auto mounted = RaiznVolume::mount(arr.loop.get(), arr.blk_ptrs());
-    if (!mounted.is_ok()) {
-        rep->failures.push_back(
-            {crash_at, "mount", mounted.status().to_string()});
-        dump_trace();
-        return;
+    if (cfg_.engine == RaidMode::kRaizn) {
+        auto mounted = RaiznVolume::mount(arr.loop.get(), arr.blk_ptrs());
+        if (!mounted.is_ok()) {
+            rep->failures.push_back(
+                {crash_at, "mount", mounted.status().to_string()});
+            dump_trace();
+            return;
+        }
+        arr.set_vol(std::move(mounted).value());
+    } else {
+        EngineConfig ec;
+        ec.mode = cfg_.engine;
+        ec.su_sectors = cfg_.su_sectors;
+        auto mounted =
+            ZonedEngine::mount(arr.loop.get(), arr.blk_ptrs(), ec);
+        if (!mounted.is_ok()) {
+            rep->failures.push_back(
+                {crash_at, "mount", mounted.status().to_string()});
+            dump_trace();
+            return;
+        }
+        arr.set_vol(std::move(mounted).value());
     }
-    arr.vol = std::move(mounted).value();
 
     if (opts_.phase == ChkOptions::Phase::kRebuild) {
         // Drive the interrupted rebuild to completion: resume from the
@@ -472,12 +578,12 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
         // scratch when the cut landed before checkpoint #0 was durable
         // (mount then flags the blank replacement as the absent
         // device). Either way the oracle judges a healed array.
-        bool resumed = arr.vol->has_pending_rebuild();
+        bool resumed = arr.rvol->has_pending_rebuild();
         Status rb_st;
         bool rb_done = true;
         if (resumed) {
             rb_done = false;
-            arr.vol->resume_rebuild(nullptr, [&](Status s) {
+            arr.rvol->resume_rebuild(nullptr, [&](Status s) {
                 rb_st = s;
                 rb_done = true;
             });
@@ -509,11 +615,11 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
         // Late cut points must have at least one durably checkpointed
         // zone to skip on resume — otherwise the checkpoint record is
         // not actually saving re-rebuild work (zone cursor stuck at 0).
-        uint64_t total_zones = arr.vol->stats().zones_rebuilt +
-            arr.vol->stats().rebuild_zones_resumed;
+        uint64_t total_zones = arr.rvol->stats().zones_rebuilt +
+            arr.rvol->stats().rebuild_zones_resumed;
         if (resumed && counted_ && total_zones >= 2 &&
             crash_at >= boundaries_ - boundaries_ / 4 &&
-            arr.vol->stats().rebuild_zones_resumed == 0) {
+            arr.rvol->stats().rebuild_zones_resumed == 0) {
             rep->failures.push_back(
                 {crash_at, "rebuild-checkpoint",
                  strprintf("late cut (%llu of %llu completions) "
@@ -527,13 +633,23 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
         }
     }
 
-    OracleOptions oo;
-    oo.check_parity = opts_.check_parity;
-    oo.degrade_dev = opts_.check_degraded
-        ? static_cast<int>(crash_at % cfg_.num_devices)
-        : -1;
-    check_invariants(*arr.loop, *arr.vol, arr.zns_ptrs(), shadow,
-                     pre_gens, oo, crash_at, &rep->failures);
+    if (arr.rvol != nullptr) {
+        OracleOptions oo;
+        oo.check_parity = opts_.check_parity;
+        oo.degrade_dev = opts_.check_degraded
+            ? static_cast<int>(crash_at % cfg_.num_devices)
+            : -1;
+        check_invariants(*arr.loop, *arr.rvol, arr.zns_ptrs(), shadow,
+                         pre_gens, oo, crash_at, &rep->failures);
+    } else {
+        EngineOracleOptions eo;
+        eo.check_scrub = opts_.check_parity;
+        eo.degrade_dev = opts_.check_degraded
+            ? static_cast<int>(crash_at % cfg_.num_devices)
+            : -1;
+        check_engine_invariants(*arr.loop, *arr.evol, shadow, pre_gens,
+                                eo, crash_at, &rep->failures);
+    }
     dump_trace();
 }
 

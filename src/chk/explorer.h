@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "array/raid_mode.h"
 #include "chk/oracle.h"
 #include "chk/workload.h"
 #include "fault/fault_device.h"
@@ -40,6 +41,18 @@ struct ChkConfig {
     uint32_t nzones = 8; ///< physical zones per device (3 are metadata)
     uint64_t zone_cap = 128; ///< physical sectors per zone
     uint32_t atomic_write_sectors = 4;
+    /**
+     * Array implementation under test. kRaizn (default) explores the
+     * paper's volume; the generic modes (raid0/1/5/6/10/auto) explore
+     * a ZonedEngine, whose oracle enforces the engine's own contract:
+     * core durability/readability on healthy arrays, settled-stripe
+     * scrub consistency, and post-crash degraded re-reads for
+     * mirror-kind zones only (parity tails are volatile by design —
+     * the write hole RAIZN's partial-parity log closes). kMdraid is
+     * rejected (no zones to crash-explore). The kRebuild phase needs
+     * kRaizn (persistent rebuild checkpoints).
+     */
+    RaidMode engine = RaidMode::kRaizn;
 
     ChkGeom geom() const;
 };

@@ -30,6 +30,7 @@ namespace raizn {
 class EventLoop;
 class RaiznVolume;
 class ZnsDevice;
+class ZonedEngine;
 } // namespace raizn
 
 namespace raizn::chk {
@@ -60,5 +61,35 @@ void check_invariants(EventLoop &loop, RaiznVolume &vol,
                       const std::vector<uint64_t> &pre_crash_gens,
                       const OracleOptions &opts, uint64_t crash_point,
                       std::vector<ChkFailure> *out);
+
+struct EngineOracleOptions {
+    /// Run a scrub pass after the core checks and require settled
+    /// stripes to be consistent (no unrecoverable units, no parity /
+    /// mirror-copy / CRC mismatches). Media rows are append-only, so
+    /// anything present below a recovered write pointer must agree.
+    bool check_scrub = true;
+    /// Device to mark failed for a post-mount degraded re-read, or -1
+    /// to skip. Only mirror-kind zones are re-read, bounded by the
+    /// engine's degraded_fill: parity-kind tails lose their in-memory
+    /// parity at the cut (the classic write hole), so post-crash
+    /// reconstruction there is exactly what the engine does NOT
+    /// promise — and what the paper's partial-parity log adds.
+    int degrade_dev = -1;
+};
+
+/**
+ * Engine-mode counterpart of check_invariants: the core invariants
+ * (readability, durability floor, wp bounds, generation monotonicity)
+ * plus the engine-specific ones — every non-empty recovered zone is
+ * frozen, settled stripes scrub clean, and mirror-kind zones serve
+ * degraded re-reads. May mark a device failed; callers must not reuse
+ * the engine afterwards.
+ */
+void check_engine_invariants(EventLoop &loop, ZonedEngine &eng,
+                             const ShadowVolume &shadow,
+                             const std::vector<uint64_t> &pre_crash_gens,
+                             const EngineOracleOptions &opts,
+                             uint64_t crash_point,
+                             std::vector<ChkFailure> *out);
 
 } // namespace raizn::chk

@@ -185,13 +185,14 @@ degraded_workload(const ChkGeom &g, uint32_t fail_dev)
 }
 
 ChkWorkload
-random_workload(const ChkGeom &g, uint64_t seed, uint32_t nops)
+random_workload(const ChkGeom &g, uint64_t seed, uint32_t nops,
+                bool allow_fail_dev)
 {
     Rng rng(seed * 0x9e3779b97f4a7c15ull + 1);
     ChkWorkload wl;
     std::vector<uint64_t> wp(g.num_zones, 0);
     std::vector<bool> full(g.num_zones, false);
-    bool failed_one = false;
+    bool failed_one = !allow_fail_dev;
 
     while (wl.size() < nops) {
         double p = rng.next_double();

@@ -61,7 +61,12 @@ ChkWorkload canonical_workload(const ChkGeom &g);
 ChkWorkload degraded_workload(const ChkGeom &g, uint32_t fail_dev);
 
 /// Seeded random workload of roughly `nops` valid sequential ops.
+/// `allow_fail_dev` gates the (at most one) mid-workload device
+/// failure; pass false for engines whose crash contract only covers
+/// healthy arrays (generic parity modes keep tail parity in memory, so
+/// degraded acks are not crash-durable — RAIZN's pp-log is what fixes
+/// this).
 ChkWorkload random_workload(const ChkGeom &g, uint64_t seed,
-                            uint32_t nops);
+                            uint32_t nops, bool allow_fail_dev = true);
 
 } // namespace raizn::chk

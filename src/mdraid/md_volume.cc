@@ -20,31 +20,6 @@ MdVolumeStats::dump() const
     return obs::render_stats(*this);
 }
 
-namespace {
-
-/// Fallback span label when the submitter didn't annotate a stage.
-const char *
-default_dev_stage(IoOp op)
-{
-    switch (op) {
-    case IoOp::kRead:
-        return "dev.read";
-    case IoOp::kWrite:
-        return "dev.write";
-    case IoOp::kAppend:
-        return "dev.append";
-    case IoOp::kFlush:
-        return "dev.flush";
-    case IoOp::kZoneReset:
-        return "dev.zone_reset";
-    case IoOp::kZoneFinish:
-        return "dev.zone_finish";
-    }
-    return "dev.io";
-}
-
-} // namespace
-
 struct MdVolume::WriteCtx {
     uint32_t pending = 0;
     bool issued_all = false;
@@ -56,7 +31,10 @@ struct MdVolume::WriteCtx {
 
 MdVolume::MdVolume(EventLoop *loop, std::vector<BlockDevice *> devs,
                    MdVolumeConfig cfg)
-    : loop_(loop), devs_(std::move(devs)), cfg_(cfg)
+    : ZonedArray(loop, std::move(devs),
+                 StatCells{&stats_.io_retries, &stats_.io_timeouts,
+                           &stats_.dev_errors, &stats_.spares_promoted}),
+      cfg_(cfg)
 {
     assert(devs_.size() >= 3);
     uint32_t D = static_cast<uint32_t>(devs_.size()) - 1;
@@ -71,61 +49,14 @@ MdVolume::MdVolume(EventLoop *loop, std::vector<BlockDevice *> devs,
     cache_ = std::make_unique<StripeCache>(
         stripe_sectors_ * kSectorSize, cfg_.stripe_cache_bytes,
         store_data_);
-    health_ = std::make_unique<HealthMonitor>(
-        static_cast<uint32_t>(devs_.size()));
-    health_->set_escalation([this](uint32_t dev, HealthEvent ev) {
-        if (ev == HealthEvent::kFailed)
-            mark_device_failed(dev);
-    });
-    retrier_ = std::make_unique<IoRetrier>(loop_, RetryPolicy{},
-                                           health_.get(),
-                                           &stats_.io_retries,
-                                           &stats_.io_timeouts);
 }
 
-MdVolume::~MdVolume()
-{
-    *alive_ = false;
-}
+MdVolume::~MdVolume() = default;
 
 void
-MdVolume::set_resilience(const RetryPolicy &retry,
-                         const HealthConfig &health)
+MdVolume::link_stats_hook(obs::MetricsRegistry &reg)
 {
-    health_ = std::make_unique<HealthMonitor>(
-        static_cast<uint32_t>(devs_.size()), health);
-    health_->set_escalation([this](uint32_t dev, HealthEvent ev) {
-        if (ev == HealthEvent::kFailed)
-            mark_device_failed(dev);
-    });
-    retrier_ = std::make_unique<IoRetrier>(loop_, retry, health_.get(),
-                                           &stats_.io_retries,
-                                           &stats_.io_timeouts);
-}
-
-void
-MdVolume::attach_observability(obs::MetricsRegistry *reg,
-                               obs::TraceRecorder *trace)
-{
-    reg_ = reg;
-    trace_ = trace;
-    dev_obs_.clear();
-    write_lat_ = nullptr;
-    read_lat_ = nullptr;
-    if (reg == nullptr)
-        return;
-    obs::link_stats(*reg, "mdraid", stats_);
-    write_lat_ = reg->latency("mdraid.write.total_ns");
-    read_lat_ = reg->latency("mdraid.read.total_ns");
-    dev_obs_.resize(devs_.size());
-    for (uint32_t d = 0; d < devs_.size(); ++d) {
-        std::string prefix = strprintf("mdraid.dev%u", d);
-        obs::link_stats(*reg, prefix, devs_[d]->stats());
-        dev_obs_[d].read_ns = reg->latency(prefix + ".read_ns");
-        dev_obs_[d].write_ns = reg->latency(prefix + ".write_ns");
-        dev_obs_[d].flush_ns = reg->latency(prefix + ".flush_ns");
-        dev_obs_[d].other_ns = reg->latency(prefix + ".other_ns");
-    }
+    obs::link_stats(reg, "mdraid", stats_);
 }
 
 void
@@ -159,64 +90,6 @@ MdVolume::install_timeline(obs::Timeline *tl)
             ftl[d].gc_active->set(cd->ftl().gc_active() ? 1 : 0);
         }
     });
-}
-
-void
-MdVolume::dev_submit(uint32_t dev, IoRequest req, IoCallback cb)
-{
-    if (trace_ != nullptr || !dev_obs_.empty()) {
-        const char *stage = req.trace_stage != nullptr
-            ? req.trace_stage
-            : default_dev_stage(req.op);
-        uint64_t token = trace_ != nullptr
-            ? trace_->begin_span(stage, req.trace_req,
-                                 obs::kTrackDevBase + dev, loop_->now())
-            : 0;
-        obs::LatencyMetric *lat = nullptr;
-        if (!dev_obs_.empty()) {
-            const DevObs &o = dev_obs_[dev];
-            switch (req.op) {
-            case IoOp::kRead:
-                lat = o.read_ns;
-                break;
-            case IoOp::kWrite:
-            case IoOp::kAppend:
-                lat = o.write_ns;
-                break;
-            case IoOp::kFlush:
-                lat = o.flush_ns;
-                break;
-            default:
-                lat = o.other_ns;
-                break;
-            }
-        }
-        Tick t0 = loop_->now();
-        cb = [this, token, lat, t0, inner = std::move(cb)](IoResult r) {
-            Tick now = loop_->now();
-            if (trace_ != nullptr && token != 0)
-                trace_->end_span(token, now);
-            if (lat != nullptr)
-                lat->record(now - t0);
-            inner(std::move(r));
-        };
-    }
-    retrier_->submit(devs_[dev], dev, std::move(req), std::move(cb));
-}
-
-bool
-MdVolume::escalate_dev_error(uint32_t dev, const Status &s)
-{
-    stats_.dev_errors++;
-    if (s.code() == StatusCode::kOffline) {
-        // Abrupt device death bypasses the retrier's health
-        // accounting; record the terminal failure here too.
-        health_->record_op_failure(dev);
-        mark_device_failed(dev);
-    } else if (health_->should_fail(dev)) {
-        mark_device_failed(dev);
-    }
-    return failed_dev_ == static_cast<int>(dev);
 }
 
 uint32_t
@@ -820,10 +693,7 @@ MdVolume::mark_device_failed(uint32_t dev)
 void
 MdVolume::promote_spare(uint32_t dev)
 {
-    devs_[dev] = spare_;
-    spare_ = nullptr;
-    health_->reset_device(dev);
-    stats_.spares_promoted++;
+    promote_spare_base(dev);
     LOG_INFO("mdraid: hot spare promoted into slot %u", dev);
 }
 

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "array/zoned_array.h"
 #include "fault/health.h"
 #include "fault/retry.h"
 #include "mdraid/stripe_cache.h"
@@ -21,15 +22,6 @@
 #include "zns/block_device.h"
 
 namespace raizn {
-
-namespace obs {
-class MetricsRegistry;
-class TraceRecorder;
-class LatencyMetric;
-class Timeline;
-} // namespace obs
-
-class EventLoop;
 
 struct MdVolumeConfig {
     uint32_t chunk_sectors = 16; ///< 64 KiB chunks ("stripe units")
@@ -81,37 +73,53 @@ struct MdVolumeStats {
     std::string dump() const;
 };
 
-class MdVolume
+class MdVolume : public ZonedArray
 {
   public:
-    using StatusCb = std::function<void(Status)>;
-
     MdVolume(EventLoop *loop, std::vector<BlockDevice *> devs,
              MdVolumeConfig cfg);
-    ~MdVolume();
+    ~MdVolume() override;
 
-    uint64_t capacity() const { return capacity_; }
-    uint32_t num_devices() const
-    {
-        return static_cast<uint32_t>(devs_.size());
-    }
+    RaidMode mode() const override { return RaidMode::kMdraid; }
+    uint32_t fault_tolerance() const override { return 1; }
+    /// Conventional devices: random-access, no zones.
+    bool zoned() const override { return false; }
+    uint64_t capacity() const override { return capacity_; }
     uint32_t chunk_sectors() const { return cfg_.chunk_sectors; }
     uint64_t stripe_sectors() const { return stripe_sectors_; }
 
-    void read(uint64_t lba, uint32_t nsectors, IoCallback cb);
+    void read(uint64_t lba, uint32_t nsectors, IoCallback cb) override;
     /// Random-access write (RAID-5 allows overwrites anywhere).
     void write(uint64_t lba, std::vector<uint8_t> data, IoCallback cb);
     void write_len(uint64_t lba, uint32_t nsectors, IoCallback cb);
-    void flush(IoCallback cb);
+    /// ZonedArray entry points; md has no FUA/PREFLUSH distinction
+    /// (configured journal-less), so the flags are ignored.
+    void
+    write(uint64_t lba, std::vector<uint8_t> data, WriteFlags flags,
+          IoCallback cb) override
+    {
+        (void)flags;
+        write(lba, std::move(data), std::move(cb));
+    }
+    void
+    write_len(uint64_t lba, uint32_t nsectors, WriteFlags flags,
+              IoCallback cb) override
+    {
+        (void)flags;
+        write_len(lba, nsectors, std::move(cb));
+    }
+    void flush(IoCallback cb) override;
 
-    void mark_device_failed(uint32_t dev);
-    int failed_device() const { return failed_dev_; }
+    void mark_device_failed(uint32_t dev) override;
+    int failed_device() const override { return failed_dev_; }
 
-    /// Replaces the retry policy and health thresholds (resets health
-    /// history). Same semantics as RaiznVolume::set_resilience.
+    using ZonedArray::set_resilience;
+    /// Legacy knob form; same semantics as the ResilienceConfig one.
     void set_resilience(const RetryPolicy &retry,
-                        const HealthConfig &health = HealthConfig{});
-    const HealthMonitor &health() const { return *health_; }
+                        const HealthConfig &health = HealthConfig{})
+    {
+        set_resilience(ResilienceConfig{retry, health});
+    }
 
     /**
      * Failure-lifecycle policy, mirroring RaiznVolume::LifecycleConfig
@@ -126,9 +134,6 @@ class MdVolume
     };
     void set_lifecycle(LifecycleConfig lc) { lifecycle_ = std::move(lc); }
     const LifecycleConfig &lifecycle() const { return lifecycle_; }
-    /// Registers a standby replacement promoted on the next failure.
-    void set_spare(BlockDevice *spare) { spare_ = spare; }
-    bool has_spare() const { return spare_ != nullptr; }
     /// Live token bucket while a resync is in flight (else null).
     const RebuildThrottle *resync_throttle() const
     {
@@ -143,17 +148,18 @@ class MdVolume
     void resync_device(uint32_t dev,
                        std::function<void(uint64_t, uint64_t)> progress,
                        StatusCb done);
+    /// ZonedArray spelling of resync_device.
+    void
+    rebuild_device(uint32_t dev, ProgressCb progress,
+                   StatusCb done) override
+    {
+        resync_device(dev, std::move(progress), std::move(done));
+    }
 
-    /**
-     * Hooks this volume into the unified observability layer
-     * (src/obs): MdVolumeStats under "mdraid.*", per-device
-     * DeviceStats under "mdraid.dev<i>.*", per-device latency
-     * histograms, and stage spans ("md.write", "md.rmw_read",
-     * "md.chunk_write", "md.parity") on `trace`. Either pointer may
-     * be null; pass nulls to detach.
-     */
-    void attach_observability(obs::MetricsRegistry *reg,
-                              obs::TraceRecorder *trace);
+    // attach_observability (inherited) links MdVolumeStats under
+    // "mdraid.*", per-device DeviceStats + latency histograms under
+    // "mdraid.dev<i>.*"; stage spans ("md.write", "md.rmw_read",
+    // "md.chunk_write", "md.parity") go to the trace recorder.
 
     /**
      * Registers gauge-refresh probes on `tl`: per-device FTL state
@@ -164,7 +170,7 @@ class MdVolume
      * Requires attach_observability(reg, ...) first; call before
      * tl->start().
      */
-    void install_timeline(obs::Timeline *tl);
+    void install_timeline(obs::Timeline *tl) override;
 
     const MdVolumeStats &stats() const { return stats_; }
     const StripeCache &cache() const { return *cache_; }
@@ -194,20 +200,20 @@ class MdVolume
         std::function<void(Status, std::vector<uint8_t>)> cb);
     uint64_t chunk_pba(uint64_t stripe) const;
     bool store_data() const { return store_data_; }
-    /// All device IO funnels through the retrier.
-    void dev_submit(uint32_t dev, IoRequest req, IoCallback cb);
-    /// Counts a post-retry device error; escalates to
-    /// mark_device_failed when the health evidence warrants it.
-    /// Returns true when `dev` is now the failed device.
-    bool escalate_dev_error(uint32_t dev, const Status &s);
+    // dev_submit / escalate_dev_error are inherited from ZonedArray;
+    // all device IO funnels through the retrier.
     /// Swaps the configured spare into slot `dev`.
     void promote_spare(uint32_t dev);
     /// Failover policy: promote the spare and start a background
     /// resync, deferred off the error path.
     void maybe_start_auto_resync(uint32_t dev);
 
-    EventLoop *loop_;
-    std::vector<BlockDevice *> devs_;
+    // ZonedArray hooks.
+    std::string metric_prefix() const override { return "mdraid"; }
+    void link_stats_hook(obs::MetricsRegistry &reg) override;
+    /// Historical: mdraid never exposed per-device health counters.
+    bool link_health_metrics() const override { return false; }
+
     MdVolumeConfig cfg_;
     uint64_t stripe_sectors_;
     uint64_t capacity_;
@@ -215,31 +221,12 @@ class MdVolume
     MdVolumeStats stats_;
     int failed_dev_ = -1;
     bool store_data_;
-    std::unique_ptr<HealthMonitor> health_;
-    std::unique_ptr<IoRetrier> retrier_;
 
     // Failure lifecycle (set_lifecycle / set_spare).
     LifecycleConfig lifecycle_;
-    BlockDevice *spare_ = nullptr;
     std::unique_ptr<RebuildThrottle> throttle_;
     bool resyncing_ = false;
     double fg_write_ewma_ns_ = 0.0;
-    /// Guards deferred lifecycle callbacks against volume destruction.
-    std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-
-    // Observability (src/obs): null when detached. Handles resolved
-    // once in attach_observability — no per-op name lookups.
-    obs::MetricsRegistry *reg_ = nullptr;
-    obs::TraceRecorder *trace_ = nullptr;
-    struct DevObs {
-        obs::LatencyMetric *read_ns = nullptr;
-        obs::LatencyMetric *write_ns = nullptr;
-        obs::LatencyMetric *flush_ns = nullptr;
-        obs::LatencyMetric *other_ns = nullptr;
-    };
-    std::vector<DevObs> dev_obs_;
-    obs::LatencyMetric *write_lat_ = nullptr; ///< mdraid.write.total_ns
-    obs::LatencyMetric *read_lat_ = nullptr;  ///< mdraid.read.total_ns
 };
 
 } // namespace raizn

@@ -26,7 +26,7 @@ struct ResyncJob {
     uint32_t inflight = 0;
     Status status;
     std::function<void(uint64_t, uint64_t)> progress;
-    MdVolume::StatusCb done;
+    StatusCb done;
     bool finished = false;
     bool throttle_armed = false; ///< refill wake-up already scheduled
 

@@ -30,7 +30,10 @@ uint64_t g_uuid_source = 0x5a4e5331; // deterministic array UUIDs
 
 RaiznVolume::RaiznVolume(EventLoop *loop, std::vector<BlockDevice *> devs,
                          const RaiznConfig &cfg)
-    : loop_(loop), devs_(std::move(devs)), cfg_(cfg)
+    : ZonedArray(loop, std::move(devs),
+                 StatCells{&stats_.io_retries, &stats_.io_timeouts,
+                           &stats_.dev_errors, &stats_.spares_promoted}),
+      cfg_(cfg)
 {
     layout_ = std::make_unique<Layout>(cfg_, devs_[0]->geometry());
     md_ = std::make_unique<MdManager>(loop_, layout_.get(), devs_);
@@ -56,68 +59,24 @@ RaiznVolume::RaiznVolume(EventLoop *loop, std::vector<BlockDevice *> devs,
     for (BlockDevice *d : devs_)
         store_data_ &= d->data_mode() == DataMode::kStore;
 
-    health_ = std::make_unique<HealthMonitor>(
-        static_cast<uint32_t>(devs_.size()));
-    health_->set_escalation([this](uint32_t dev, HealthEvent ev) {
-        on_health_event(dev, ev);
-    });
-    retrier_ = std::make_unique<IoRetrier>(loop_, RetryPolicy{},
-                                           health_.get(),
-                                           &stats_.io_retries,
-                                           &stats_.io_timeouts);
     md_->set_retrier(retrier_.get());
-    alive_ = std::make_shared<bool>(true);
 }
 
 RaiznVolume::~RaiznVolume()
 {
-    *alive_ = false;
     scrub_running_ = false;
 }
 
 void
-RaiznVolume::set_resilience(const ResilienceConfig &rc)
+RaiznVolume::on_resilience_changed()
 {
-    health_ = std::make_unique<HealthMonitor>(
-        static_cast<uint32_t>(devs_.size()), rc.health);
-    health_->set_escalation([this](uint32_t dev, HealthEvent ev) {
-        on_health_event(dev, ev);
-    });
-    retrier_ = std::make_unique<IoRetrier>(loop_, rc.retry, health_.get(),
-                                           &stats_.io_retries,
-                                           &stats_.io_timeouts);
     md_->set_retrier(retrier_.get());
-    // The monitor was replaced: any linked health counters would
-    // dangle, so refresh the registry bindings in place.
-    if (reg_ != nullptr)
-        attach_observability(reg_, trace_);
 }
 
 void
-RaiznVolume::attach_observability(obs::MetricsRegistry *reg,
-                                  obs::TraceRecorder *trace)
+RaiznVolume::link_stats_hook(obs::MetricsRegistry &reg)
 {
-    reg_ = reg;
-    trace_ = trace;
-    dev_obs_.clear();
-    write_lat_ = nullptr;
-    read_lat_ = nullptr;
-    if (reg == nullptr)
-        return;
-    obs::link_stats(*reg, "raizn", stats_);
-    write_lat_ = reg->latency("raizn.write.total_ns");
-    read_lat_ = reg->latency("raizn.read.total_ns");
-    dev_obs_.resize(devs_.size());
-    for (uint32_t d = 0; d < devs_.size(); ++d) {
-        std::string prefix = strprintf("zns.dev%u", d);
-        obs::link_stats(*reg, prefix, devs_[d]->stats());
-        dev_obs_[d].read_ns = reg->latency(prefix + ".read_ns");
-        dev_obs_[d].write_ns = reg->latency(prefix + ".write_ns");
-        dev_obs_[d].flush_ns = reg->latency(prefix + ".flush_ns");
-        dev_obs_[d].other_ns = reg->latency(prefix + ".other_ns");
-        obs::link_stats(*reg, strprintf("raizn.health.dev%u", d),
-                        health_->device(d));
-    }
+    obs::link_stats(reg, "raizn", stats_);
 }
 
 size_t
@@ -182,90 +141,6 @@ RaiznVolume::install_timeline(obs::Timeline *tl)
             census[d][3]->set(c.full);
         }
     });
-}
-
-namespace {
-
-/// Fallback span label when the submitter didn't annotate a stage.
-const char *
-default_dev_stage(IoOp op)
-{
-    switch (op) {
-    case IoOp::kRead:
-        return "dev.read";
-    case IoOp::kWrite:
-        return "dev.write";
-    case IoOp::kAppend:
-        return "dev.append";
-    case IoOp::kFlush:
-        return "dev.flush";
-    case IoOp::kZoneReset:
-        return "dev.zone_reset";
-    case IoOp::kZoneFinish:
-        return "dev.zone_finish";
-    }
-    return "dev.io";
-}
-
-} // namespace
-
-void
-RaiznVolume::dev_submit(uint32_t dev, IoRequest req, IoCallback cb)
-{
-    if (trace_ != nullptr || !dev_obs_.empty()) {
-        const char *stage = req.trace_stage != nullptr
-            ? req.trace_stage
-            : default_dev_stage(req.op);
-        uint64_t token = trace_ != nullptr
-            ? trace_->begin_span(stage, req.trace_req,
-                                 obs::kTrackDevBase + dev, loop_->now())
-            : 0;
-        obs::LatencyMetric *lat = nullptr;
-        if (!dev_obs_.empty()) {
-            const DevObs &o = dev_obs_[dev];
-            switch (req.op) {
-            case IoOp::kRead:
-                lat = o.read_ns;
-                break;
-            case IoOp::kWrite:
-            case IoOp::kAppend:
-                lat = o.write_ns;
-                break;
-            case IoOp::kFlush:
-                lat = o.flush_ns;
-                break;
-            default:
-                lat = o.other_ns;
-                break;
-            }
-        }
-        Tick t0 = loop_->now();
-        cb = [this, token, lat, t0, inner = std::move(cb)](IoResult r) {
-            Tick now = loop_->now();
-            if (trace_ != nullptr && token != 0)
-                trace_->end_span(token, now);
-            if (lat != nullptr)
-                lat->record(now - t0);
-            inner(std::move(r));
-        };
-    }
-    retrier_->submit(devs_[dev], dev, std::move(req), std::move(cb));
-}
-
-bool
-RaiznVolume::escalate_dev_error(uint32_t dev, const Status &s)
-{
-    stats_.dev_errors++;
-    if (s.code() == StatusCode::kOffline) {
-        // An abrupt device death is non-retryable and bypasses the
-        // retrier's health accounting; record the terminal failure so
-        // the health trail matches the failover decision.
-        health_->record_op_failure(dev);
-        mark_device_failed(dev);
-    } else if (health_->should_fail(dev)) {
-        mark_device_failed(dev);
-    }
-    return failed_dev_ == static_cast<int>(dev);
 }
 
 void
@@ -1830,11 +1705,8 @@ RaiznVolume::on_health_event(uint32_t dev, HealthEvent ev)
 void
 RaiznVolume::promote_spare(uint32_t dev)
 {
-    devs_[dev] = spare_;
-    spare_ = nullptr;
+    promote_spare_base(dev);
     md_->replace_device(dev, devs_[dev]);
-    health_->reset_device(dev);
-    stats_.spares_promoted++;
     LOG_INFO("hot spare promoted into slot %u", dev);
 }
 

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "array/zoned_array.h"
 #include "fault/health.h"
 #include "fault/retry.h"
 #include "raizn/config.h"
@@ -34,20 +35,6 @@
 #include "zns/block_device.h"
 
 namespace raizn {
-
-namespace obs {
-class MetricsRegistry;
-class TraceRecorder;
-class LatencyMetric;
-class Timeline;
-} // namespace obs
-
-class EventLoop;
-
-struct WriteFlags {
-    bool fua = false;
-    bool preflush = false;
-};
 
 /// Counters exposed for tests, benches, and Table 1 accounting.
 struct VolumeStats {
@@ -137,11 +124,9 @@ struct VolumeStats {
     std::string dump() const;
 };
 
-class RaiznVolume
+class RaiznVolume : public ZonedArray
 {
   public:
-    using ProgressCb = std::function<void(uint64_t done, uint64_t total)>;
-
     /**
      * mkfs: formats `devs` (resets metadata zones, writes role records
      * and superblocks) and returns a mounted volume. All devices must
@@ -160,49 +145,47 @@ class RaiznVolume
     static Result<std::unique_ptr<RaiznVolume>>
     mount(EventLoop *loop, std::vector<BlockDevice *> devs);
 
-    ~RaiznVolume();
-    RaiznVolume(const RaiznVolume &) = delete;
-    RaiznVolume &operator=(const RaiznVolume &) = delete;
+    ~RaiznVolume() override;
 
     // ---- Geometry --------------------------------------------------
     const Layout &layout() const { return *layout_; }
-    uint32_t num_zones() const { return layout_->num_logical_zones(); }
-    uint64_t zone_capacity() const { return layout_->logical_zone_cap(); }
-    uint64_t capacity() const { return layout_->logical_capacity(); }
+    RaidMode mode() const override { return RaidMode::kRaizn; }
+    uint32_t fault_tolerance() const override { return 1; }
+    uint32_t num_zones() const override
+    {
+        return layout_->num_logical_zones();
+    }
+    uint64_t zone_capacity() const override
+    {
+        return layout_->logical_zone_cap();
+    }
+    uint64_t capacity() const override
+    {
+        return layout_->logical_capacity();
+    }
     /// Open-zone budget exposed to the host: the device limit minus the
     /// metadata zones RAIZN itself keeps open.
     uint32_t max_open_zones() const { return max_open_zones_; }
 
     /// Report Zones for the logical device.
-    Result<ZoneInfo> zone_info(uint32_t zone) const;
+    Result<ZoneInfo> zone_info(uint32_t zone) const override;
 
     // ---- Data path -------------------------------------------------
-    void read(uint64_t lba, uint32_t nsectors, IoCallback cb);
+    void read(uint64_t lba, uint32_t nsectors, IoCallback cb) override;
 
     /// Sequential zone write; `data` empty = timing-only.
     void write(uint64_t lba, std::vector<uint8_t> data, WriteFlags flags,
-               IoCallback cb);
+               IoCallback cb) override;
     void
     write_len(uint64_t lba, uint32_t nsectors, WriteFlags flags,
-              IoCallback cb)
+              IoCallback cb) override
     {
         write_internal(lba, {}, nsectors, flags, std::move(cb));
     }
 
-    void flush(IoCallback cb);
-    void reset_zone(uint32_t zone, IoCallback cb);
-    void finish_zone(uint32_t zone, IoCallback cb);
-
-    // ---- Fault tolerance -------------------------------------------
-    /// Retry/backoff, watchdog, and health-escalation knobs.
-    struct ResilienceConfig {
-        RetryPolicy retry;
-        HealthConfig health;
-    };
-    /// Replaces the retry policy and health thresholds (resets health
-    /// history). Call before issuing IO.
-    void set_resilience(const ResilienceConfig &rc);
-    const HealthMonitor &health() const { return *health_; }
+    void flush(IoCallback cb) override;
+    void reset_zone(uint32_t zone, IoCallback cb) override;
+    void finish_zone(uint32_t zone, IoCallback cb) override;
 
     // ---- Failure lifecycle -----------------------------------------
     /**
@@ -221,14 +204,6 @@ class RaiznVolume
     };
     void set_lifecycle(LifecycleConfig lc) { lifecycle_ = std::move(lc); }
     const LifecycleConfig &lifecycle() const { return lifecycle_; }
-
-    /**
-     * Attaches a hot spare (a fresh, formatted-blank device with the
-     * same geometry). Non-owning; the spare must outlive the volume or
-     * be detached with set_spare(nullptr).
-     */
-    void set_spare(BlockDevice *spare) { spare_ = spare; }
-    bool has_spare() const { return spare_ != nullptr; }
 
     /**
      * True when mount found a durable rebuild checkpoint with state
@@ -252,16 +227,6 @@ class RaiznVolume
     }
 
     // ---- Scrubbing -------------------------------------------------
-    /// Outcome of one scrub pass over the written stripes.
-    struct ScrubReport {
-        uint64_t stripes_scanned = 0;
-        uint64_t parity_mismatches = 0; ///< XOR(data) != parity
-        uint64_t crc_mismatches = 0; ///< units failing their checksums
-        uint64_t repaired_units = 0; ///< data units read-repaired
-        uint64_t repaired_parity = 0; ///< parity units rewritten
-        uint64_t unrecoverable = 0; ///< mismatches scrub could not fix
-    };
-
     /**
      * Synchronously scrubs every eligible stripe (complete, at its
      * home placement, all devices available): reads data + parity,
@@ -270,7 +235,7 @@ class RaiznVolume
      * the metadata zones like any relocated stripe unit). Drives the
      * event loop until the pass completes.
      */
-    Status scrub_all(ScrubReport *report = nullptr);
+    Status scrub_all(ScrubReport *report = nullptr) override;
 
     /**
      * Starts the background scrubber: one stripe every `interval`
@@ -284,10 +249,9 @@ class RaiznVolume
     bool scrubber_running() const { return scrub_running_; }
 
     /// Marks a device failed: reads reconstruct, writes omit it.
-    void mark_device_failed(uint32_t dev);
+    void mark_device_failed(uint32_t dev) override;
     /// -1 when the array is healthy.
-    int failed_device() const { return failed_dev_; }
-    bool degraded() const { return failed_dev_ >= 0; }
+    int failed_device() const override { return failed_dev_; }
     bool read_only() const { return read_only_; }
 
     /**
@@ -297,22 +261,16 @@ class RaiznVolume
      * arriving during rebuild are served degraded for zones not yet
      * rebuilt.
      */
-    void rebuild_device(uint32_t dev, ProgressCb progress, StatusCb done);
+    void rebuild_device(uint32_t dev, ProgressCb progress,
+                        StatusCb done) override;
 
     // ---- Observability ---------------------------------------------
-    /**
-     * Hooks this volume into the unified observability layer
-     * (src/obs). `reg` gets every VolumeStats counter linked under
-     * "raizn.*", per-device DeviceStats under "zns.dev<i>.*", and
-     * per-device latency histograms ("zns.dev<i>.write_ns", ...).
-     * `trace` receives stage spans for every write/read: the logical
-     * request on track 0, metadata-manager appends on track 1, device
-     * commands on track 2+i. Either pointer may be null; pass nulls to
-     * detach. Purely observational — no timing or scheduling changes.
-     */
-    void attach_observability(obs::MetricsRegistry *reg,
-                              obs::TraceRecorder *trace);
-    obs::TraceRecorder *trace_recorder() const { return trace_; }
+    // attach_observability (inherited) links every VolumeStats counter
+    // under "raizn.*", per-device DeviceStats + latency histograms
+    // under "zns.dev<i>.*", and health counters under
+    // "raizn.health.dev<i>.*". Trace spans: logical request on track 0,
+    // metadata-manager appends on track 1, device commands on track
+    // 2+i.
 
     // Point-in-time backlog views (timeline gauges).
     /// Stripe buffers currently held across open logical zones.
@@ -330,14 +288,12 @@ class RaiznVolume
      * are ZNS devices. Requires attach_observability(reg, ...) first
      * (the gauges live in that registry); call before tl->start().
      */
-    void install_timeline(obs::Timeline *tl);
+    void install_timeline(obs::Timeline *tl) override;
 
     // ---- Introspection ---------------------------------------------
     const VolumeStats &stats() const { return stats_; }
     const GenCounterTable &gen_counters() const { return gen_; }
     MdManager &md_manager() { return *md_; }
-    uint32_t num_devices() const { return layout_->num_devices(); }
-    BlockDevice *device(uint32_t i) const { return devs_[i]; }
 
     /**
      * True when any sector of stripe `stripe` in logical zone `zone`
@@ -456,7 +412,7 @@ class RaiznVolume
     /// manager, health history). The old pointer is abandoned.
     void promote_spare(uint32_t dev);
     /// Health-monitor escalation edges land here.
-    void on_health_event(uint32_t dev, HealthEvent ev);
+    void on_health_event(uint32_t dev, HealthEvent ev) override;
     void maybe_start_auto_rebuild(uint32_t dev);
 
     // scrub.cc
@@ -488,14 +444,9 @@ class RaiznVolume
     std::vector<MdAppend> snapshot_for_gc(uint32_t dev, MdZoneRole role);
     bool data_mode_store() const { return store_data_; }
     IoResult dev_sync(uint32_t dev, IoRequest req);
-    /// Data-path device submit: routes through the retrier/watchdog.
-    /// Recovery, rebuild, and metadata appends keep their direct paths.
-    void dev_submit(uint32_t dev, IoRequest req, IoCallback cb);
-    /// Called with a persistent (post-retry) device error: counts it
-    /// and escalates to mark_device_failed when the health evidence
-    /// warrants. Returns true when `dev` is now this volume's failed
-    /// device, i.e. the caller should degrade instead of propagating.
-    bool escalate_dev_error(uint32_t dev, const Status &s);
+    // dev_submit / escalate_dev_error are inherited from ZonedArray:
+    // the data path routes through the retrier/watchdog; recovery,
+    // rebuild, and metadata appends keep their direct paths.
     /// Records per-sector CRCs for a logical write (`off` is the zone-
     /// relative sector offset); empty data invalidates the range.
     void note_written_crcs(uint32_t zone, uint64_t off,
@@ -506,8 +457,13 @@ class RaiznVolume
     bool crc_range_ok(uint64_t lba, const uint8_t *bytes,
                       uint32_t nsectors) const;
 
-    EventLoop *loop_;
-    std::vector<BlockDevice *> devs_;
+    // ZonedArray hooks.
+    std::string metric_prefix() const override { return "raizn"; }
+    /// Historical namespace: per-device metrics predate the interface.
+    std::string dev_metric_prefix() const override { return "zns"; }
+    void link_stats_hook(obs::MetricsRegistry &reg) override;
+    void on_resilience_changed() override;
+
     RaiznConfig cfg_;
     std::unique_ptr<Layout> layout_;
     std::unique_ptr<MdManager> md_;
@@ -542,34 +498,13 @@ class RaiznVolume
     bool rebuilding_ = false;
     std::vector<bool> zone_rebuilt_; ///< during rebuild_device
 
-    // Failure lifecycle.
+    // Failure lifecycle. (The spare and the resilience/observability
+    // layers live in ZonedArray.)
     LifecycleConfig lifecycle_;
-    BlockDevice *spare_ = nullptr; ///< non-owning hot spare
     std::unique_ptr<RebuildThrottle> throttle_;
     int pending_rebuild_dev_ = -1; ///< from a mount-time checkpoint
     std::vector<bool> ckpt_rebuilt_; ///< checkpointed zone bitmap
     double fg_write_ewma_ns_ = 0.0; ///< foreground write latency EWMA
-
-    // Resilience layer.
-    std::unique_ptr<HealthMonitor> health_;
-    std::unique_ptr<IoRetrier> retrier_;
-
-    // Observability (src/obs): null when detached. Latency handles are
-    // resolved once in attach_observability, so the hot path never
-    // performs a name lookup. The registry pointer is kept so health
-    // counters can be re-linked when set_resilience recreates the
-    // monitor.
-    obs::MetricsRegistry *reg_ = nullptr;
-    obs::TraceRecorder *trace_ = nullptr;
-    struct DevObs {
-        obs::LatencyMetric *read_ns = nullptr;
-        obs::LatencyMetric *write_ns = nullptr;
-        obs::LatencyMetric *flush_ns = nullptr;
-        obs::LatencyMetric *other_ns = nullptr;
-    };
-    std::vector<DevObs> dev_obs_;
-    obs::LatencyMetric *write_lat_ = nullptr; ///< raizn.write.total_ns
-    obs::LatencyMetric *read_lat_ = nullptr;  ///< raizn.read.total_ns
 
     // Background scrubber state.
     bool scrub_running_ = false;
@@ -578,8 +513,6 @@ class RaiznVolume
     ScrubReport scrub_pass_;
     std::vector<std::pair<uint32_t, uint64_t>> scrub_queue_;
     size_t scrub_cursor_ = 0;
-    /// Guards scheduled scrub events against volume destruction.
-    std::shared_ptr<bool> alive_;
 };
 
 } // namespace raizn

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 
+#include "array/zoned_array.h"
 #include "mdraid/md_volume.h"
 #include "raizn/volume.h"
 #include "zns/block_device.h"
@@ -59,6 +60,41 @@ class RaiznTarget : public IoTarget
 
   private:
     RaiznVolume *vol_;
+};
+
+/// Any ZonedArray implementation behind the shared interface — the
+/// generic ZonedEngine modes as well as the RAIZN volume itself.
+class ZonedArrayTarget : public IoTarget
+{
+  public:
+    explicit ZonedArrayTarget(ZonedArray *arr) : arr_(arr) {}
+    uint64_t capacity() const override { return arr_->capacity(); }
+    void
+    read(uint64_t lba, uint32_t n, IoCallback cb) override
+    {
+        arr_->read(lba, n, std::move(cb));
+    }
+    void
+    write(uint64_t lba, uint32_t n, IoCallback cb) override
+    {
+        arr_->write_len(lba, n, {}, std::move(cb));
+    }
+    void
+    flush(IoCallback cb) override
+    {
+        arr_->flush(std::move(cb));
+    }
+    bool zoned() const override { return true; }
+    void
+    reset_zone_at(uint64_t lba, IoCallback cb) override
+    {
+        arr_->reset_zone(static_cast<uint32_t>(lba / arr_->zone_capacity()),
+                         std::move(cb));
+    }
+    ZonedArray *array() const { return arr_; }
+
+  private:
+    ZonedArray *arr_;
 };
 
 class MdTarget : public IoTarget
