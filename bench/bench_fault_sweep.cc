@@ -12,6 +12,13 @@
  * sequential-write pass with 0..tolerance+1 members failed, and the
  * bench ASSERTS the mode-appropriate outcome — error-free IO at or
  * below the mode's fault tolerance, surfaced IO errors beyond it.
+ *
+ * --smoke runs neither sweep: it is the per-engine observability
+ * self-check (ctest fault_sweep_smoke). Each generic ZonedEngine mode
+ * runs a short instrumented write pass and the bench asserts that the
+ * engine's stage spans cover >=95% of every sampled write's
+ * "eng.write" wall time — the same bar the instrumented fig8 pass
+ * holds the RAIZN volume to.
  */
 #include <cstdio>
 #include <string>
@@ -246,6 +253,51 @@ run_matrix_point(RaidMode mode, uint32_t nfail)
             res.throughput_mibs(), res.errors};
 }
 
+/// --smoke: per-engine trace-coverage self-check. A short sequential
+/// write pass per generic mode, with the engine's observability
+/// attached; every sampled request must be >=95% accounted for by its
+/// chunk/parity/WAL sub-spans or a hot path is missing its span.
+int
+engine_coverage_smoke(const ObsOptions &oo)
+{
+    print_header("Smoke: eng.write span coverage per ZonedEngine mode");
+    prof::enable();
+    int rc = 0;
+    for (RaidMode mode :
+         {RaidMode::kRaid0, RaidMode::kRaid1, RaidMode::kRaid5,
+          RaidMode::kRaid6, RaidMode::kRaid10, RaidMode::kAuto}) {
+        PROF_SCOPE("bench.fault_sweep.smoke");
+        BenchScale scale;
+        BenchObs obs;
+        auto arr = make_engine_array(mode, scale);
+        arr.eng->attach_observability(&obs.registry, &obs.trace);
+        ZonedArrayTarget target(arr.eng.get());
+        WorkloadRunner runner(arr.loop.get(), &target);
+        auto jobs = seq_jobs(RwMode::kSeqWrite, 64, 4, 64,
+                             target.capacity(), arr.eng->zone_capacity());
+        for (auto &j : jobs)
+            j.io_limit = kIosPerJob / 4;
+        runner.run_merged(jobs);
+
+        size_t n = 0;
+        double mean = 0;
+        double worst = obs.write_coverage("eng.write", &n, &mean);
+        std::printf("  %-7s coverage min=%.1f%% mean=%.1f%% over %zu "
+                    "writes\n", std::string(to_string(mode)).c_str(),
+                    worst * 100, mean * 100, n);
+        if (n == 0 || worst < 0.95) {
+            std::fprintf(stderr,
+                         "FAIL: %s eng.write span coverage %.1f%% below "
+                         "95%% (n=%zu)\n",
+                         std::string(to_string(mode)).c_str(),
+                         worst * 100, n);
+            rc = 1;
+        }
+    }
+    finish_prof(oo);
+    return rc;
+}
+
 } // namespace
 
 int
@@ -300,7 +352,10 @@ main(int argc, char **argv)
     ObsOptions oo;
     if (!parse_obs_args(argc, argv, &oo))
         return 2;
+    if (oo.smoke)
+        return engine_coverage_smoke(oo);
     print_header("Fault sweep: throughput/p99 vs injected error rate");
+    HostMeter meter;
 
     std::vector<SweepPoint> points;
     for (double r : {0.0, 1e-4, 1e-3, 5e-3, 1e-2}) {
@@ -347,10 +402,11 @@ main(int argc, char **argv)
                  "{\n  \"config\": {\"num_devices\": %u, "
                  "\"zones_per_device\": %u, \"zone_cap_sectors\": %llu, "
                  "\"su_sectors\": %u, \"block_sectors\": 64},\n"
+                 "  %s,\n"
                  "  \"points\": [\n",
                  scale.num_devices, scale.zones_per_device,
                  (unsigned long long)scale.zone_cap_sectors,
-                 scale.su_sectors);
+                 scale.su_sectors, meter.json("").c_str());
     for (size_t i = 0; i < records.size(); ++i) {
         const Record &r = records[i];
         std::fprintf(
@@ -381,7 +437,12 @@ main(int argc, char **argv)
                      i + 1 < matrix.size() ? "," : "");
     }
     // Injected faults perturb tail latency and retry counts more than
-    // throughput, so those fields get the widest bands.
+    // throughput, so those fields get the widest bands. Host-clock
+    // fields are machine-dependent: their bands are wide and
+    // report-only (warn), a wall-clock regression baseline rather
+    // than a hard gate. The event/alloc/copy counters only move when
+    // the code changes, but still warn-only so a legitimate
+    // refactor's drift reads as a prompt to regenerate, not a CI red.
     std::fprintf(
         f,
         "  ],\n"
@@ -391,7 +452,19 @@ main(int argc, char **argv)
         "    \"io_retries\": {\"rel\": 0.30, \"abs\": 5},\n"
         "    \"io_timeouts\": {\"rel\": 0.30, \"abs\": 3},\n"
         "    \"dev_errors\": {\"rel\": 0.30, \"abs\": 5},\n"
-        "    \"errors\": {\"rel\": 0.50, \"abs\": 20}\n"
+        "    \"errors\": {\"rel\": 0.50, \"abs\": 20},\n"
+        "    \"wall_ms\": {\"rel\": 10.0, \"abs\": 5000, \"warn\": true},\n"
+        "    \"events_per_sec\": {\"rel\": 10.0, \"abs\": 1000, "
+        "\"warn\": true},\n"
+        "    \"events\": {\"rel\": 0.25, \"abs\": 1000, \"warn\": true},\n"
+        "    \"alloc_count\": {\"rel\": 0.25, \"abs\": 1000, "
+        "\"warn\": true},\n"
+        "    \"alloc_bytes\": {\"rel\": 0.25, \"abs\": 65536, "
+        "\"warn\": true},\n"
+        "    \"copy_count\": {\"rel\": 0.25, \"abs\": 1000, "
+        "\"warn\": true},\n"
+        "    \"copy_bytes\": {\"rel\": 0.25, \"abs\": 65536, "
+        "\"warn\": true}\n"
         "  }\n}\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_fault_sweep.json (%zu records)\n",

@@ -227,17 +227,19 @@ print_series(const char *name, Series &s)
 }
 
 void
-write_json(const BenchScale &scale, bool smoke, const Series &md,
-           const Series &rz, FILE *f)
+write_json(const BenchScale &scale, bool smoke, const HostMeter &meter,
+           const Series &md, const Series &rz, FILE *f)
 {
     std::fprintf(f,
                  "{\n  \"config\": {\"num_devices\": %u, "
                  "\"zones_per_device\": %u, \"zone_cap_sectors\": %llu, "
                  "\"su_sectors\": %u, \"block_sectors\": %u, "
-                 "\"smoke\": %s},\n",
+                 "\"smoke\": %s},\n"
+                 "  %s,\n",
                  scale.num_devices, scale.zones_per_device,
                  (unsigned long long)scale.zone_cap_sectors,
-                 scale.su_sectors, kBs, smoke ? "true" : "false");
+                 scale.su_sectors, kBs, smoke ? "true" : "false",
+                 meter.json("").c_str());
     const struct {
         const char *name;
         const Series *s;
@@ -264,7 +266,19 @@ write_json(const BenchScale &scale, bool smoke, const Series &md,
         "    \"drop_pct\": {\"abs\": 8},\n"
         "    \"collapse_events\": {\"abs\": 0},\n"
         "    \"recovered_events\": {\"abs\": 1},\n"
-        "    \"first_collapse_s\": {\"rel\": 0.25, \"abs\": 1}\n"
+        "    \"first_collapse_s\": {\"rel\": 0.25, \"abs\": 1},\n"
+        "    \"wall_ms\": {\"rel\": 10.0, \"abs\": 5000, \"warn\": true},\n"
+        "    \"events_per_sec\": {\"rel\": 10.0, \"abs\": 1000, "
+        "\"warn\": true},\n"
+        "    \"events\": {\"rel\": 0.25, \"abs\": 1000, \"warn\": true},\n"
+        "    \"alloc_count\": {\"rel\": 0.25, \"abs\": 1000, "
+        "\"warn\": true},\n"
+        "    \"alloc_bytes\": {\"rel\": 0.25, \"abs\": 65536, "
+        "\"warn\": true},\n"
+        "    \"copy_count\": {\"rel\": 0.25, \"abs\": 1000, "
+        "\"warn\": true},\n"
+        "    \"copy_bytes\": {\"rel\": 0.25, \"abs\": 65536, "
+        "\"warn\": true}\n"
         "  }\n}\n");
 }
 
@@ -279,6 +293,7 @@ main(int argc, char **argv)
     BenchScale scale;
     if (oo.smoke)
         scale.zones_per_device = 12;
+    HostMeter meter;
 
     print_header("Fig 10: device-GC timeseries, full overwrite");
     Series md = run_mdraid(oo, scale);
@@ -294,7 +309,7 @@ main(int argc, char **argv)
         std::fprintf(stderr, "cannot write BENCH_fig10_collapse.json\n");
         return 1;
     }
-    write_json(scale, oo.smoke, md, rz, f);
+    write_json(scale, oo.smoke, meter, md, rz, f);
     std::fclose(f);
     std::printf("wrote BENCH_fig10_collapse.json\n");
 

@@ -226,6 +226,7 @@ main(int argc, char **argv)
     if (!parse_obs_args(argc, argv, &oo))
         return 2;
     bool smoke = oo.smoke;
+    HostMeter meter;
 
     print_header("Fig 12: time-to-repair vs valid data");
     std::printf("%-10s %14s %14s\n", "fill", "mdraid_TTR_s",
@@ -296,10 +297,11 @@ main(int argc, char **argv)
                  "\"su_sectors\": %u, \"fill\": 0.5, "
                  "\"fg_qd\": 4, \"fg_block_sectors\": 64},\n"
                  "  \"fg_baseline_mibs\": %.2f,\n"
+                 "  %s,\n"
                  "  \"points\": [\n",
                  scale.num_devices, scale.zones_per_device,
                  (unsigned long long)scale.zone_cap_sectors,
-                 scale.su_sectors, baseline);
+                 scale.su_sectors, baseline, meter.json("").c_str());
     const MttrRecord *recs[] = {&unthrottled, &fixed, &adaptive};
     for (size_t i = 0; i < 3; ++i) {
         const MttrRecord *r = recs[i];
@@ -326,7 +328,19 @@ main(int argc, char **argv)
         "    \"zones_rebuilt\": {\"abs\": 0},\n"
         "    \"rebuilt_sectors\": {\"rel\": 0.05},\n"
         "    \"fg_baseline_mibs\": {\"rel\": 0.10},\n"
-        "    \"rate_sectors_per_sec\": {\"rel\": 0.25}\n"
+        "    \"rate_sectors_per_sec\": {\"rel\": 0.25},\n"
+        "    \"wall_ms\": {\"rel\": 10.0, \"abs\": 5000, \"warn\": true},\n"
+        "    \"events_per_sec\": {\"rel\": 10.0, \"abs\": 1000, "
+        "\"warn\": true},\n"
+        "    \"events\": {\"rel\": 0.25, \"abs\": 1000, \"warn\": true},\n"
+        "    \"alloc_count\": {\"rel\": 0.25, \"abs\": 1000, "
+        "\"warn\": true},\n"
+        "    \"alloc_bytes\": {\"rel\": 0.25, \"abs\": 65536, "
+        "\"warn\": true},\n"
+        "    \"copy_count\": {\"rel\": 0.25, \"abs\": 1000, "
+        "\"warn\": true},\n"
+        "    \"copy_bytes\": {\"rel\": 0.25, \"abs\": 65536, "
+        "\"warn\": true}\n"
         "  }\n}\n");
     std::fclose(f);
     std::printf("\nwrote BENCH_rebuild_mttr.json (3 points)\n");

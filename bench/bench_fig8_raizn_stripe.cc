@@ -70,22 +70,34 @@ instrumented_pass(const ObsOptions &oo)
 {
     print_header("Instrumented pass: 64 KiB SU, sequential write + "
                  "random read");
-    BenchScale scale;
-    scale.su_sectors = 16; // 64 KiB, the paper's default
-    auto arr = make_raizn_array(scale);
+    // The instrumented pass always runs with the host profiler on: it
+    // is both the CI coverage self-check and the artifact producer for
+    // --prof-out / --flame-out.
+    prof::enable();
+    WorkloadPoint wr, rd;
     BenchObs obs;
     obs.opts = oo;
-    arr.vol->attach_observability(&obs.registry, &obs.trace);
-    auto tl = make_timeline(oo, arr.loop.get(), &obs.registry);
-    arr.vol->install_timeline(tl.get());
-    tl->start();
-    RaiznTarget target(arr.vol.get());
-    uint64_t zone_cap = arr.vol->zone_capacity();
+    uint32_t num_devices = 0;
+    {
+        PROF_SCOPE("bench.fig8.instrumented");
+        BenchScale scale;
+        scale.su_sectors = 16; // 64 KiB, the paper's default
+        auto arr = make_raizn_array(scale);
+        arr.vol->attach_observability(&obs.registry, &obs.trace);
+        auto tl = make_timeline(oo, arr.loop.get(), &obs.registry);
+        arr.vol->install_timeline(tl.get());
+        tl->start();
+        RaiznTarget target(arr.vol.get());
+        uint64_t zone_cap = arr.vol->zone_capacity();
+        num_devices = arr.vol->num_devices();
 
-    WorkloadPoint wr = run_seq(arr.loop.get(), &target, RwMode::kSeqWrite,
-                               16, zone_cap);
-    WorkloadPoint rd = run_rand_read(arr.loop.get(), &target, 16);
-    finish_timeline(oo, tl.get());
+        wr = run_seq(arr.loop.get(), &target, RwMode::kSeqWrite, 16,
+                     zone_cap);
+        rd = run_rand_read(arr.loop.get(), &target, 16);
+        finish_timeline(oo, tl.get());
+    }
+    double prof_cov = prof::coverage();
+    finish_prof(oo);
     std::printf("seq write 64K: %.0f MiB/s p50=%.1fus p99.9=%.1fus\n",
                 wr.mibs, wr.p50_us, wr.p999_us);
     std::printf("rand read 64K: %.0f MiB/s p50=%.1fus p99.9=%.1fus\n",
@@ -97,7 +109,7 @@ instrumented_pass(const ObsOptions &oo)
     std::printf("\ntrace coverage of write wall time: min=%.1f%% "
                 "mean=%.1f%% over %zu sampled writes\n", worst * 100,
                 mean * 100, n);
-    obs.finish(arr.vol->num_devices());
+    obs.finish(num_devices);
 
     // Self-check for CI: every sampled write must be ≥95% accounted
     // for by its stage spans, else the trace is lying about where
@@ -105,6 +117,13 @@ instrumented_pass(const ObsOptions &oo)
     if (n == 0 || worst < 0.95) {
         std::fprintf(stderr, "FAIL: write span coverage %.1f%% below "
                              "95%% (n=%zu)\n", worst * 100, n);
+        return 1;
+    }
+    // Same bar for the host profiler: ≥95% of the measured wall time
+    // must land in named scopes, else a hot path is uninstrumented.
+    if (prof_cov < 0.95) {
+        std::fprintf(stderr, "FAIL: host profile scope coverage %.1f%% "
+                             "below 95%%\n", prof_cov * 100);
         return 1;
     }
     return 0;

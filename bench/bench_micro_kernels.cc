@@ -3,8 +3,19 @@
  * google-benchmark microbenchmarks of RAIZN's hot CPU kernels: XOR
  * parity, partial-parity delta computation, metadata entry
  * encode/decode, latency histogram insertion, and event-loop dispatch.
+ *
+ * `--host-baseline <path>` additionally writes the per-kernel results
+ * (ns/op and bytes/s) as a bench-gate JSON with wide, report-only
+ * tolerance bands — the committed BENCH_host_kernels.json wall-clock
+ * regression baseline. The bands are warn-only because host timings
+ * depend on the machine; the value of the baseline is the trend line
+ * CI prints, not a hard gate.
  */
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/histogram.h"
 #include "common/rng.h"
@@ -116,7 +127,94 @@ BM_EventLoopDispatch(benchmark::State &state)
 }
 BENCHMARK(BM_EventLoopDispatch);
 
+/// ConsoleReporter that also collects one row per benchmark run, so
+/// the normal table still prints while --host-baseline gets data.
+class CollectingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    struct Row {
+        std::string name;
+        double ns_per_op = 0;
+        double bytes_per_second = 0; ///< 0 when the kernel sets no rate
+    };
+    std::vector<Row> rows;
+
+    void
+    ReportRuns(const std::vector<Run> &report) override
+    {
+        for (const Run &run : report) {
+            if (run.run_type != Run::RT_Iteration || run.error_occurred)
+                continue;
+            Row row;
+            row.name = run.benchmark_name();
+            row.ns_per_op = run.GetAdjustedRealTime();
+            auto it = run.counters.find("bytes_per_second");
+            if (it != run.counters.end())
+                row.bytes_per_second = it->second;
+            rows.push_back(std::move(row));
+        }
+        ConsoleReporter::ReportRuns(report);
+    }
+};
+
+int
+write_host_baseline(const std::string &path,
+                    const std::vector<CollectingReporter::Row> &rows)
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return 1;
+    }
+    std::fprintf(f, "{\n  \"points\": [\n");
+    for (size_t i = 0; i < rows.size(); ++i) {
+        const auto &r = rows[i];
+        std::fprintf(f,
+                     "    {\"name\": \"%s\", \"ns_per_op\": %.1f, "
+                     "\"bytes_per_second\": %.0f}%s\n",
+                     r.name.c_str(), r.ns_per_op, r.bytes_per_second,
+                     i + 1 < rows.size() ? "," : "");
+    }
+    // Host-clock measurements: wide and report-only. A 10x band still
+    // catches an accidentally quadratic kernel while ignoring machine
+    // and scheduler noise.
+    std::fprintf(f,
+                 "  ],\n"
+                 "  \"tolerance\": {\n"
+                 "    \"ns_per_op\": {\"rel\": 10.0, \"abs\": 100, "
+                 "\"warn\": true},\n"
+                 "    \"bytes_per_second\": {\"rel\": 10.0, "
+                 "\"abs\": 1000000, \"warn\": true}\n"
+                 "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu kernels)\n", path.c_str(), rows.size());
+    return 0;
+}
+
 } // namespace
 } // namespace raizn
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel off --host-baseline before benchmark sees the arg list.
+    std::string baseline_path;
+    std::vector<char *> bargv;
+    for (int i = 0; i < argc; ++i) {
+        if (std::string(argv[i]) == "--host-baseline" && i + 1 < argc) {
+            baseline_path = argv[++i];
+            continue;
+        }
+        bargv.push_back(argv[i]);
+    }
+    int bargc = static_cast<int>(bargv.size());
+    benchmark::Initialize(&bargc, bargv.data());
+    if (benchmark::ReportUnrecognizedArguments(bargc, bargv.data()))
+        return 1;
+    raizn::CollectingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    if (!baseline_path.empty())
+        return raizn::write_host_baseline(baseline_path, reporter.rows);
+    return 0;
+}

@@ -15,6 +15,7 @@
 
 #include "obs/anomaly.h"
 #include "obs/metrics.h"
+#include "obs/prof/prof.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "wkld/runner.h"
@@ -32,6 +33,8 @@ struct ObsOptions {
     std::string metrics_out;
     std::string trace_out;
     std::string timeseries_out;
+    std::string prof_out;  ///< host profiler JSON summary
+    std::string flame_out; ///< collapsed-stack flamegraph (folded)
     uint64_t timeseries_interval_ms = 100;
     bool smoke = false;
 };
@@ -57,6 +60,10 @@ parse_obs_args(int argc, char **argv, ObsOptions *out)
                 std::strtoull(argv[++i], nullptr, 10);
             if (out->timeseries_interval_ms == 0)
                 out->timeseries_interval_ms = 100;
+        } else if (a == "--prof-out" && i + 1 < argc) {
+            out->prof_out = argv[++i];
+        } else if (a == "--flame-out" && i + 1 < argc) {
+            out->flame_out = argv[++i];
         } else if (a == "--smoke") {
             out->smoke = true;
         } else {
@@ -64,7 +71,9 @@ parse_obs_args(int argc, char **argv, ObsOptions *out)
                          "usage: %s [--metrics-out m.json] "
                          "[--trace-out t.json] "
                          "[--timeseries-out t.csv] "
-                         "[--timeseries-interval-ms N] [--smoke]\n",
+                         "[--timeseries-interval-ms N] "
+                         "[--prof-out p.json] [--flame-out f.folded] "
+                         "[--smoke]\n",
                          argv[0]);
             return false;
         }
@@ -178,6 +187,107 @@ struct BenchObs {
         if (mean_out != nullptr && !reqs.empty())
             *mean_out = sum / static_cast<double>(reqs.size());
         return worst;
+    }
+};
+
+/// True when the caller asked for any host-profiler output.
+inline bool
+prof_requested(const ObsOptions &oo)
+{
+    return !oo.prof_out.empty() || !oo.flame_out.empty();
+}
+
+/**
+ * Ends the profiler window, prints the top-10 self-time table, and
+ * writes the JSON summary / folded flamegraph files that were
+ * requested. No-op if the profiler was never enabled.
+ */
+inline void
+finish_prof(const ObsOptions &oo)
+{
+    if (!prof::enabled() && prof::wall_ns() == 0)
+        return;
+    prof::disable();
+    std::printf("\n-- host profile: top scopes by self time "
+                "(wall %.1f ms, %.0f events/s, coverage %.1f%%) --\n%s",
+                static_cast<double>(prof::wall_ns()) * 1e-6,
+                prof::events_per_sec(), prof::coverage() * 100.0,
+                prof::table(10).c_str());
+    if (!oo.prof_out.empty() &&
+        prof::write_file(oo.prof_out, prof::summary_json()))
+        std::printf("prof json: %s\n", oo.prof_out.c_str());
+    if (!oo.flame_out.empty() &&
+        prof::write_file(oo.flame_out, prof::folded()))
+        std::printf("flamegraph (folded): %s (feed to flamegraph.pl or "
+                    "speedscope)\n",
+                    oo.flame_out.c_str());
+}
+
+/**
+ * Wall-clock + hot-path counter snapshot for the `host` block of a
+ * BENCH_*.json. Reads the profiler's unconditional counters, so it
+ * works whether or not scope timing is enabled.
+ */
+struct HostMeter {
+    uint64_t t0_ns = 0;
+    uint64_t ev0 = 0, alloc0 = 0, alloc_bytes0 = 0;
+    uint64_t copy0 = 0, copy_bytes0 = 0;
+
+    HostMeter() { restart(); }
+
+    void
+    restart()
+    {
+        t0_ns = prof::host_now_ns();
+        ev0 = prof::g_events_dispatched;
+        alloc0 = prof::g_alloc_count;
+        alloc_bytes0 = prof::g_alloc_bytes;
+        copy0 = prof::g_copy_count;
+        copy_bytes0 = prof::g_copy_bytes;
+    }
+
+    double
+    wall_ms() const
+    {
+        return static_cast<double>(prof::host_now_ns() - t0_ns) * 1e-6;
+    }
+
+    double
+    events_per_sec() const
+    {
+        double s = static_cast<double>(prof::host_now_ns() - t0_ns) * 1e-9;
+        if (s <= 0.0)
+            return 0.0;
+        return static_cast<double>(prof::g_events_dispatched - ev0) / s;
+    }
+
+    /**
+     * Renders the `host` JSON object (no trailing comma/newline), e.g.
+     *   "host": {"wall_ms": 812.4, "events_per_sec": 1.2e6, ...}
+     * Bench writers embed it next to their existing fields; bench-gate
+     * bands for these fields are wide and report-only (see
+     * tools/bench_gate.py "warn" bands).
+     */
+    std::string
+    json(const char *indent) const
+    {
+        char buf[512];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s\"host\": {\"wall_ms\": %.3f, \"events_per_sec\": %.1f, "
+            "\"events\": %llu, \"alloc_count\": %llu, "
+            "\"alloc_bytes\": %llu, \"copy_count\": %llu, "
+            "\"copy_bytes\": %llu}",
+            indent, wall_ms(), events_per_sec(),
+            static_cast<unsigned long long>(prof::g_events_dispatched -
+                                            ev0),
+            static_cast<unsigned long long>(prof::g_alloc_count - alloc0),
+            static_cast<unsigned long long>(prof::g_alloc_bytes -
+                                            alloc_bytes0),
+            static_cast<unsigned long long>(prof::g_copy_count - copy0),
+            static_cast<unsigned long long>(prof::g_copy_bytes -
+                                            copy_bytes0));
+        return buf;
     }
 };
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "chk/explorer.h"
+#include "obs/prof/prof.h"
 
 using namespace raizn::chk;
 
@@ -56,7 +57,12 @@ usage(const char *argv0)
             "                    (default 1), cut power during the\n"
             "                    in-flight rebuild, resume after mount\n"
             "  --rebuild-rate R  throttle the rebuild to R sectors/s\n"
-            "  --smoke           bounded exhaustive+sweep for ctest\n",
+            "  --smoke           bounded exhaustive+sweep for ctest\n"
+            "  --prof            host-profile the run; prints the\n"
+            "                    top-10 self-time scopes afterwards\n"
+            "  --prof-out F      write the profile summary JSON to F\n"
+            "  --flame-out F     write a collapsed-stack flamegraph\n"
+            "                    (folded format) to F\n",
             argv0);
     return 2;
 }
@@ -130,6 +136,8 @@ main(int argc, char **argv)
     auto phase = ChkOptions::Phase::kWorkload;
     uint32_t rebuild_dev = 1;
     uint64_t rebuild_rate = 0;
+    bool prof_on = false;
+    std::string prof_out, flame_out;
 
     auto engine = raizn::RaidMode::kRaizn;
 
@@ -206,6 +214,14 @@ main(int argc, char **argv)
             rebuild_rate = strtoull(next(), nullptr, 0);
         } else if (a == "--smoke") {
             smoke = true;
+        } else if (a == "--prof") {
+            prof_on = true;
+        } else if (a == "--prof-out") {
+            prof_out = next();
+            prof_on = true;
+        } else if (a == "--flame-out") {
+            flame_out = next();
+            prof_on = true;
         } else {
             return usage(argv[0]);
         }
@@ -334,6 +350,9 @@ main(int argc, char **argv)
         repro += buf;
     }
 
+    if (prof_on)
+        raizn::prof::enable();
+
     int rc = 0;
     if (smoke && !is_raizn) {
         // Bounded per-mode budget for ctest: power cut at every
@@ -437,6 +456,21 @@ main(int argc, char **argv)
         rc = !rep.ok();
     } else {
         return usage(argv[0]);
+    }
+
+    if (prof_on) {
+        raizn::prof::disable();
+        printf("\n-- host profile: wall %.1f ms, %.0f events/s, "
+               "scope coverage %.1f%% --\n%s",
+               static_cast<double>(raizn::prof::wall_ns()) * 1e-6,
+               raizn::prof::events_per_sec(),
+               raizn::prof::coverage() * 100,
+               raizn::prof::table(10).c_str());
+        if (!prof_out.empty())
+            raizn::prof::write_file(prof_out,
+                                    raizn::prof::summary_json());
+        if (!flame_out.empty())
+            raizn::prof::write_file(flame_out, raizn::prof::folded());
     }
     return rc;
 }

@@ -14,6 +14,8 @@
 #include "common/crc32.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/prof/prof.h"
+#include "obs/trace.h"
 #include "raizn/stripe_buffer.h"
 #include "sim/event_loop.h"
 
@@ -51,6 +53,8 @@ struct ZonedEngine::WriteCtx {
     WriteFlags flags;
     IoCallback cb;
     Tick t0 = 0;
+    uint64_t req_id = 0;      ///< trace request id (0 = untraced)
+    uint64_t total_token = 0; ///< open "eng.write" span token
 };
 
 struct ZonedEngine::FlushBarrier {
@@ -454,6 +458,21 @@ void
 ZonedEngine::chain_submit(uint32_t dev, uint32_t phys_zone, IoRequest req,
                           IoCallback cb)
 {
+    // The dev_submit span only opens once the chain dispatches the IO,
+    // so a traced request would lose its chain-queue wait. Wrap traced
+    // chunks in a request-track span covering enqueue -> completion;
+    // request_coverage unions overlapping intervals, so the double
+    // accounting with the device span is harmless.
+    if (trace_ != nullptr && req.trace_req != 0) {
+        uint64_t token = trace_->begin_span(
+            "eng.chunk_chain", req.trace_req, obs::kTrackRequest,
+            loop_->now());
+        cb = [this, token, inner = std::move(cb)](IoResult r) {
+            if (token != 0)
+                trace_->end_span(token, loop_->now());
+            inner(std::move(r));
+        };
+    }
     chains_[chain_key(dev, phys_zone)].q.emplace_back(std::move(req),
                                                      std::move(cb));
     chain_advance(dev, phys_zone);
@@ -621,6 +640,7 @@ ZonedEngine::decode_wal(const uint8_t *sector, WalRecord *out)
 void
 ZonedEngine::append_wal(WalRecord rec, StatusCb cb)
 {
+    PROF_SCOPE("eng.wal.append");
     if (wal_next_ >= wal_slots_) {
         loop_->schedule_after(1, [cb = std::move(cb)] {
             cb(Status(StatusCode::kNoSpace, "reset journal full"));
@@ -687,6 +707,7 @@ ZonedEngine::write_internal(uint64_t lba, std::vector<uint8_t> data,
                             uint32_t nsectors, WriteFlags flags,
                             IoCallback cb)
 {
+    PROF_SCOPE("eng.write");
     ++stats_.logical_writes;
     stats_.sectors_written += nsectors;
     if (flags.fua)
@@ -737,6 +758,8 @@ ZonedEngine::write_internal(uint64_t lba, std::vector<uint8_t> data,
     ctx->flags = flags;
     ctx->cb = std::move(cb);
     ctx->t0 = loop_->now();
+    if (trace_ != nullptr)
+        ctx->req_id = trace_->next_request_id();
     auto dptr = std::make_shared<std::vector<uint8_t>>(std::move(data));
     zone_enqueue(zone, [this, zone, off, dptr, nsectors, flags,
                         ctx](std::function<void()> done) {
@@ -809,6 +832,13 @@ ZonedEngine::issue_write(uint32_t zone, uint64_t off,
                          std::shared_ptr<std::vector<uint8_t>> data,
                          uint32_t nsectors, std::shared_ptr<WriteCtx> ctx)
 {
+    // The total-write span opens here — after the per-zone queue wait
+    // and the zone-kind decision — so its window is the issue-to-ack
+    // path the chunk sub-spans can actually account for.
+    if (trace_ != nullptr) {
+        ctx->total_token = trace_->begin_span(
+            "eng.write", ctx->req_id, obs::kTrackRequest, loop_->now());
+    }
     EZone &z = zones_[zone];
     const bool store = store_data_ && !data->empty();
     const uint32_t su = cfg_.su_sectors;
@@ -820,6 +850,7 @@ ZonedEngine::issue_write(uint32_t zone, uint64_t off,
             ? IoRequest::write_len(dev_row_lba(zone, row), len)
             : IoRequest::write(dev_row_lba(zone, row), std::move(payload));
         req.trace_stage = "eng.chunk_write";
+        req.trace_req = ctx->req_id;
         uint64_t id = track_io();
         ++ctx->pending;
         chain_submit(d, phys_zone(zone), std::move(req),
@@ -867,10 +898,15 @@ ZonedEngine::issue_write(uint32_t zone, uint64_t off,
                     continue;
                 }
                 std::vector<uint8_t> slice;
-                if (store)
+                if (store) {
+                    prof::count_alloc(static_cast<uint64_t>(len) *
+                                      kSectorSize);
+                    prof::count_copy(static_cast<uint64_t>(len) *
+                                     kSectorSize);
                     slice.assign(
                         data->begin() + db * kSectorSize,
                         data->begin() + (db + len) * kSectorSize);
+                }
                 submit_piece(d, row, std::move(slice), len);
             }
             pos += len;
@@ -910,6 +946,7 @@ ZonedEngine::note_tail(uint32_t zone, uint64_t pos, uint32_t n,
 void
 ZonedEngine::complete_stripe(uint32_t zone, uint64_t stripe)
 {
+    PROF_SCOPE("eng.parity.compute");
     EZone &z = zones_[zone];
     TailBuf &t = z.tails[stripe];
     const uint32_t su = cfg_.su_sectors;
@@ -995,6 +1032,10 @@ ZonedEngine::finish_write(std::shared_ptr<WriteCtx> ctx)
         r.status = std::move(s);
         if (write_lat_ != nullptr)
             write_lat_->record(loop_->now() - ctx->t0);
+        if (trace_ != nullptr && ctx->total_token != 0) {
+            trace_->end_span(ctx->total_token, loop_->now());
+            ctx->total_token = 0;
+        }
         ctx->cb(std::move(r));
     };
     if (!ctx->status.is_ok()) {
@@ -1342,6 +1383,7 @@ ZonedEngine::finish_zone(uint32_t zone, IoCallback cb)
 void
 ZonedEngine::read(uint64_t lba, uint32_t nsectors, IoCallback cb)
 {
+    PROF_SCOPE("eng.read");
     ++stats_.logical_reads;
     stats_.sectors_read += nsectors;
     if (nsectors == 0 || lba + nsectors > capacity()) {

@@ -5,6 +5,7 @@
 #include "array/engine.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/prof/prof.h"
 #include "obs/trace.h"
 #include "sim/event_loop.h"
 
@@ -281,6 +282,7 @@ CrashPointExplorer::drive(Array &arr, ShadowVolume &shadow,
                           std::vector<uint64_t> *hash_prefix,
                           ChkReport *rep)
 {
+    PROF_SCOPE("chk.drive");
     arr.loop = std::make_unique<EventLoop>();
     std::vector<BlockDevice *> ptrs;
     for (uint32_t i = 0; i < cfg_.num_devices; ++i) {
@@ -475,6 +477,7 @@ CrashPointExplorer::count_boundaries()
 void
 CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
 {
+    PROF_SCOPE("chk.run_one");
     ChkGeom g = cfg_.geom();
     ShadowVolume shadow(g.num_zones, g.zone_cap, true);
     Array arr;
@@ -573,6 +576,7 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
     }
 
     if (opts_.phase == ChkOptions::Phase::kRebuild) {
+        PROF_SCOPE("chk.rebuild");
         // Drive the interrupted rebuild to completion: resume from the
         // persisted checkpoint when one survived the cut, restart from
         // scratch when the cut landed before checkpoint #0 was durable
@@ -633,22 +637,27 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
         }
     }
 
-    if (arr.rvol != nullptr) {
-        OracleOptions oo;
-        oo.check_parity = opts_.check_parity;
-        oo.degrade_dev = opts_.check_degraded
-            ? static_cast<int>(crash_at % cfg_.num_devices)
-            : -1;
-        check_invariants(*arr.loop, *arr.rvol, arr.zns_ptrs(), shadow,
-                         pre_gens, oo, crash_at, &rep->failures);
-    } else {
-        EngineOracleOptions eo;
-        eo.check_scrub = opts_.check_parity;
-        eo.degrade_dev = opts_.check_degraded
-            ? static_cast<int>(crash_at % cfg_.num_devices)
-            : -1;
-        check_engine_invariants(*arr.loop, *arr.evol, shadow, pre_gens,
-                                eo, crash_at, &rep->failures);
+    {
+        PROF_SCOPE("chk.oracle");
+        if (arr.rvol != nullptr) {
+            OracleOptions oo;
+            oo.check_parity = opts_.check_parity;
+            oo.degrade_dev = opts_.check_degraded
+                ? static_cast<int>(crash_at % cfg_.num_devices)
+                : -1;
+            check_invariants(*arr.loop, *arr.rvol, arr.zns_ptrs(),
+                             shadow, pre_gens, oo, crash_at,
+                             &rep->failures);
+        } else {
+            EngineOracleOptions eo;
+            eo.check_scrub = opts_.check_parity;
+            eo.degrade_dev = opts_.check_degraded
+                ? static_cast<int>(crash_at % cfg_.num_devices)
+                : -1;
+            check_engine_invariants(*arr.loop, *arr.evol, shadow,
+                                    pre_gens, eo, crash_at,
+                                    &rep->failures);
+        }
     }
     dump_trace();
 }

@@ -67,7 +67,8 @@ IoRetrier::issue(const std::shared_ptr<OpState> &st)
     st->attempts++;
     uint64_t id = ++st->cur;
     if (policy_.io_deadline > 0) {
-        loop_->schedule_after(policy_.io_deadline, [this, st, id] {
+        loop_->schedule_after(policy_.io_deadline, "retry.deadline",
+                              [this, st, id] {
             if (st->done || st->cur != id)
                 return;
             // The attempt outlived the watchdog: count a timeout,
@@ -126,7 +127,7 @@ IoRetrier::on_complete(const std::shared_ptr<OpState> &st, IoResult r)
             exhaust(st, r.status);
             return;
         }
-        loop_->schedule_after(backoff_for(1), [this, st] {
+        loop_->schedule_after(backoff_for(1), "retry.backoff", [this, st] {
             if (!st->done)
                 prepare_attempt(st);
         });
@@ -149,7 +150,8 @@ IoRetrier::handle_retryable(const std::shared_ptr<OpState> &st, Status why)
     st->transient++;
     if (retries_)
         (*retries_)++;
-    loop_->schedule_after(backoff_for(st->transient), [this, st] {
+    loop_->schedule_after(backoff_for(st->transient), "retry.backoff",
+                          [this, st] {
         if (!st->done)
             prepare_attempt(st);
     });

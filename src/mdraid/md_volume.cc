@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/prof/prof.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "raizn/stripe_buffer.h" // xor_bytes, parity_byte_range
@@ -227,6 +228,7 @@ MdVolume::reconstruct_chunk(
 void
 MdVolume::read(uint64_t lba, uint32_t nsectors, IoCallback cb)
 {
+    PROF_SCOPE("md.read");
     if (nsectors == 0 || lba + nsectors > capacity_) {
         loop_->schedule_after(1, [cb = std::move(cb)] {
             IoResult r;
@@ -414,12 +416,14 @@ MdVolume::process_stripe_write(uint64_t stripe, uint64_t lo, uint64_t hi,
                                std::shared_ptr<std::vector<uint8_t>> data,
                                std::shared_ptr<WriteCtx> ctx)
 {
+    PROF_SCOPE("md.write");
     StripeCache::Entry *entry =
         cache_->get_or_create(stripe, stripe_sectors_);
     // Apply the new data to the cache image.
     if (store_data_ && !data->empty()) {
         std::memcpy(entry->data.data() + lo * kSectorSize, data->data(),
                     static_cast<size_t>(hi - lo) * kSectorSize);
+        prof::count_copy((hi - lo) * kSectorSize);
     }
     for (uint64_t s = lo; s < hi; ++s)
         entry->valid[s] = true;
@@ -429,6 +433,8 @@ MdVolume::process_stripe_write(uint64_t stripe, uint64_t lo, uint64_t hi,
         stats_.full_stripe_writes++;
         std::vector<uint8_t> parity;
         if (store_data_) {
+            prof::count_alloc(
+                static_cast<uint64_t>(cfg_.chunk_sectors) * kSectorSize);
             parity.assign(
                 static_cast<size_t>(cfg_.chunk_sectors) * kSectorSize, 0);
             uint32_t D = static_cast<uint32_t>(devs_.size()) - 1;
@@ -450,6 +456,8 @@ MdVolume::process_stripe_write(uint64_t stripe, uint64_t lo, uint64_t hi,
         // no preread (md's stripe-cache benefit).
         std::vector<uint8_t> parity;
         if (store_data_) {
+            prof::count_alloc(
+                static_cast<uint64_t>(cfg_.chunk_sectors) * kSectorSize);
             parity.assign(
                 static_cast<size_t>(cfg_.chunk_sectors) * kSectorSize, 0);
             uint32_t D = static_cast<uint32_t>(devs_.size()) - 1;
@@ -489,6 +497,8 @@ MdVolume::process_stripe_write(uint64_t stripe, uint64_t lo, uint64_t hi,
     auto finish_rmw = [this, stripe, lo, hi, data, ctx, rmw]() {
         std::vector<uint8_t> parity;
         if (store_data_) {
+            prof::count_alloc(
+                static_cast<uint64_t>(cfg_.chunk_sectors) * kSectorSize);
             parity.assign(
                 static_cast<size_t>(cfg_.chunk_sectors) * kSectorSize, 0);
             uint32_t D = static_cast<uint32_t>(devs_.size()) - 1;

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "obs/anomaly.h"
+#include "obs/prof/prof.h"
 #include "sim/event_loop.h"
 
 namespace raizn::obs {
@@ -59,6 +60,7 @@ Timeline::start()
 
     last_t_ = loop_->now();
     next_due_ = last_t_ + cfg_.interval;
+    host_start_ns_ = prof::host_now_ns();
     running_ = true;
     loop_->set_probe([this](Tick now) { on_event(now); });
 }
@@ -109,6 +111,10 @@ Timeline::take_sample(Tick t)
 
     TimelineRow row;
     row.t = t;
+    // Virtual rows carry the host clock too, so a slow wall-clock
+    // interval (a simulator hot spot) can be lined up against what the
+    // simulated system was doing at the time.
+    row.host_ns = prof::host_now_ns() - host_start_ns_;
     row.values.reserve(columns_.size());
 
     // snapshot() is name-sorted and sources_ was built from one, so a
@@ -199,16 +205,17 @@ fmt_value(double v)
 std::string
 Timeline::to_csv() const
 {
-    std::string out = "t_s";
+    std::string out = "t_s,host_ns";
     for (const std::string &c : columns_) {
         out += ',';
         out += c;
     }
     out += '\n';
     for (const TimelineRow &r : rows_) {
-        out += strprintf("%.6f",
+        out += strprintf("%.6f,%llu",
                          static_cast<double>(r.t) /
-                             static_cast<double>(kNsPerSec));
+                             static_cast<double>(kNsPerSec),
+                         (unsigned long long)r.host_ns);
         for (double v : r.values) {
             out += ',';
             out += fmt_value(v);
@@ -223,7 +230,7 @@ Timeline::to_json() const
 {
     std::string out = strprintf(
         "{\n  \"interval_ns\": %llu,\n  \"dropped\": %llu,\n"
-        "  \"columns\": [\"t_ns\"",
+        "  \"columns\": [\"t_ns\", \"host_ns\"",
         (unsigned long long)cfg_.interval, (unsigned long long)dropped_);
     for (const std::string &c : columns_)
         out += strprintf(", \"%s\"", c.c_str());
@@ -233,7 +240,8 @@ Timeline::to_json() const
         if (!first)
             out += ",\n";
         first = false;
-        out += strprintf("    [%llu", (unsigned long long)r.t);
+        out += strprintf("    [%llu, %llu", (unsigned long long)r.t,
+                         (unsigned long long)r.host_ns);
         for (double v : r.values)
             out += ", " + fmt_value(v);
         out += "]";

@@ -54,6 +54,7 @@ struct TimelineConfig {
 /// One sample: the values of every column at virtual time `t`.
 struct TimelineRow {
     Tick t = 0;
+    uint64_t host_ns = 0; ///< host steady-clock ns since start()
     std::vector<double> values; ///< parallel to Timeline::columns()
 };
 
@@ -111,11 +112,12 @@ class Timeline
     /// Values of one column across all recorded rows.
     std::vector<double> series(const std::string &name) const;
 
-    /// CSV: "t_s,<col>,..." header then one row per sample.
+    /// CSV: "t_s,host_ns,<col>,..." header then one row per sample.
     std::string to_csv() const;
     Status write_csv(const std::string &path) const;
 
-    /// JSON: {"interval_ns":..., "columns":[...], "rows":[[t_ns,...]]}.
+    /// JSON: {"interval_ns":..., "columns":[...],
+    /// "rows":[[t_ns,host_ns,...]]}.
     std::string to_json() const;
     Status write_json(const std::string &path) const;
 
@@ -140,6 +142,7 @@ class Timeline
     bool running_ = false;
     Tick next_due_ = 0;
     Tick last_t_ = 0; ///< time of the previous row (rate denominator)
+    uint64_t host_start_ns_ = 0; ///< host clock at start()
     std::vector<Source> sources_;
     std::vector<std::string> columns_;
     std::deque<TimelineRow> rows_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "obs/prof/prof.h"
+
 namespace raizn {
 
 void
@@ -67,6 +69,7 @@ StripeBuffer::fill(uint64_t off, const uint8_t *data, uint64_t nsectors)
     if (!shadow_ && data != nullptr) {
         std::memcpy(data_.data() + off * kSectorSize, data,
                     nsectors * kSectorSize);
+        prof::count_copy(nsectors * kSectorSize);
     }
     filled_ = off + nsectors;
 }
@@ -75,7 +78,9 @@ std::vector<uint8_t>
 StripeBuffer::full_parity() const
 {
     assert(complete());
+    PROF_SCOPE("raizn.parity.full");
     uint64_t su_bytes = static_cast<uint64_t>(su_sectors_) * kSectorSize;
+    prof::count_alloc(su_bytes);
     std::vector<uint8_t> parity(su_bytes, 0);
     if (shadow_)
         return parity;
@@ -89,11 +94,13 @@ StripeBuffer::parity_delta(uint64_t s, uint64_t e, uint64_t *lo_sector,
                            uint64_t *hi_sector) const
 {
     assert(s < e && e <= filled_);
+    PROF_SCOPE("raizn.parity.delta");
     uint64_t lo_b, hi_b;
     parity_byte_range(s, e, su_sectors_, &lo_b, &hi_b);
     *lo_sector = lo_b / kSectorSize;
     *hi_sector = div_ceil(hi_b, kSectorSize);
     size_t out_bytes = (*hi_sector - *lo_sector) * kSectorSize;
+    prof::count_alloc(out_bytes);
     std::vector<uint8_t> delta(out_bytes, 0);
     if (shadow_)
         return delta;
@@ -118,7 +125,9 @@ StripeBuffer::parity_delta(uint64_t s, uint64_t e, uint64_t *lo_sector,
 std::vector<uint8_t>
 StripeBuffer::prefix_parity() const
 {
+    PROF_SCOPE("raizn.parity.prefix");
     uint64_t su_bytes = static_cast<uint64_t>(su_sectors_) * kSectorSize;
+    prof::count_alloc(su_bytes);
     std::vector<uint8_t> parity(su_bytes, 0);
     if (shadow_ || filled_ == 0)
         return parity;

@@ -8,6 +8,7 @@
 #include "common/crc32.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "obs/prof/prof.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 #include "sim/event_loop.h"
@@ -413,6 +414,7 @@ RaiznVolume::process_write(uint64_t lba, std::vector<uint8_t> data,
                            uint32_t nsectors, WriteFlags flags,
                            IoCallback cb)
 {
+    PROF_SCOPE("raizn.write");
     uint32_t zone = layout_->zone_of(lba);
     LZone &lz = zones_[zone];
     open_zone_state(zone);
@@ -467,6 +469,8 @@ RaiznVolume::process_write(uint64_t lba, std::vector<uint8_t> data,
             std::vector<uint8_t> bytes;
             if (!data.empty()) {
                 const uint8_t *p = data.data() + (piece - off) * kSectorSize;
+                prof::count_alloc(static_cast<uint64_t>(len) * kSectorSize);
+                prof::count_copy(static_cast<uint64_t>(len) * kSectorSize);
                 bytes.assign(p, p + static_cast<size_t>(len) * kSectorSize);
             }
             submit_data_subio(dev, zone, pba, std::move(bytes), len,
@@ -641,6 +645,7 @@ RaiznVolume::log_partial_parity(uint32_t zone, uint64_t stripe,
                                 uint64_t lo_sector,
                                 std::shared_ptr<WriteCtx> ctx)
 {
+    PROF_SCOPE("raizn.pp_log");
     stats_.partial_parity_logs++;
     stats_.partial_parity_sectors += delta.size() / kSectorSize;
 
@@ -681,6 +686,7 @@ RaiznVolume::relocate_write(uint32_t dev, uint32_t zone, uint64_t lba,
                             std::vector<uint8_t> data, uint32_t nsectors,
                             std::shared_ptr<WriteCtx> ctx)
 {
+    PROF_SCOPE("raizn.reloc");
     stats_.relocated_writes++;
     zones_[zone].has_reloc = true;
     ctx->pending++;
@@ -816,6 +822,7 @@ RaiznVolume::start_fua_flush_phase(std::shared_ptr<WriteCtx> ctx)
 void
 RaiznVolume::flush(IoCallback cb)
 {
+    PROF_SCOPE("raizn.flush");
     stats_.flushes++;
     // Duplicate the flush to every array device (§5.3).
     auto pending = std::make_shared<uint32_t>(0);
@@ -1121,6 +1128,7 @@ RaiznVolume::finish_zone(uint32_t zone, IoCallback cb)
 void
 RaiznVolume::read(uint64_t lba, uint32_t nsectors, IoCallback cb)
 {
+    PROF_SCOPE("raizn.read");
     if (nsectors == 0 || lba + nsectors > capacity()) {
         IoResult r;
         r.status = Status(StatusCode::kInvalidArgument, "read out of range");

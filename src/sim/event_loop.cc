@@ -3,17 +3,22 @@
 #include <cassert>
 #include <utility>
 
+#include "obs/prof/prof.h"
+
 namespace raizn {
 
 void
-EventLoop::schedule_at(Tick when, Callback fn)
+EventLoop::schedule_at(Tick when, const char *tag, Callback fn)
 {
     assert(fn);
     if (when < now_)
         when = now_; // never schedule into the past
     stats_.events_scheduled++;
     sched_delay_ns_.add(when - now_);
-    queue_.push(Event{when, next_seq_++, std::move(fn)});
+    // Host-clock stamp for queue-wait attribution; only while the
+    // profiler is measuring, so the disabled path never reads a clock.
+    uint64_t sched_host = prof::enabled() ? prof::host_now_ns() : 0;
+    queue_.push(Event{when, next_seq_++, std::move(fn), tag, sched_host});
     if (queue_.size() > stats_.max_pending)
         stats_.max_pending = queue_.size();
 }
@@ -30,9 +35,22 @@ EventLoop::pop_and_run()
     assert(ev.when >= now_);
     now_ = ev.when;
     stats_.events_processed++;
+    // Mirror the virtual clock into the profiler (plain store) and
+    // bump the unconditional events/sec meter.
+    prof::set_virtual_now(now_);
+    prof::count_event();
     if (observer_)
         observer_(ev.when, ev.seq);
-    ev.fn();
+    if (prof::enabled()) {
+        prof::Site *site = prof::event_site(ev.tag);
+        if (ev.sched_host != 0)
+            prof::add_queue_wait(site,
+                                 prof::host_now_ns() - ev.sched_host);
+        prof::Scope scope(site);
+        ev.fn();
+    } else {
+        ev.fn();
+    }
     // After the callback, so a row stamped at boundary B reflects all
     // work dispatched at ticks <= B (the callback may have cleared the
     // probe, hence the re-check).

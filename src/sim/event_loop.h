@@ -61,12 +61,32 @@ class EventLoop
     Tick now() const { return now_; }
 
     /// Schedules `fn` to run at absolute tick `when` (>= now()).
-    void schedule_at(Tick when, Callback fn);
+    void
+    schedule_at(Tick when, Callback fn)
+    {
+        schedule_at(when, nullptr, std::move(fn));
+    }
+
+    /**
+     * Tagged variant: `tag` must be a string literal (or otherwise
+     * immortal). When the host profiler is enabled the dispatch runs
+     * inside a "sim.cb.<tag>" scope with host-clock queue-wait
+     * attribution; untagged events fall under "sim.cb.untagged".
+     */
+    void schedule_at(Tick when, const char *tag, Callback fn);
 
     /// Schedules `fn` to run `delay` ticks from now.
-    void schedule_after(Tick delay, Callback fn)
+    void
+    schedule_after(Tick delay, Callback fn)
     {
-        schedule_at(now_ + delay, std::move(fn));
+        schedule_at(now_ + delay, nullptr, std::move(fn));
+    }
+
+    /// Tagged variant of schedule_after (see tagged schedule_at).
+    void
+    schedule_after(Tick delay, const char *tag, Callback fn)
+    {
+        schedule_at(now_ + delay, tag, std::move(fn));
     }
 
     /// Runs events until the queue is empty. Returns events processed.
@@ -130,6 +150,8 @@ class EventLoop
         Tick when;
         uint64_t seq;
         Callback fn;
+        const char *tag;     ///< profiler callback tag (may be null)
+        uint64_t sched_host; ///< host ns at schedule time; 0 = unstamped
     };
     struct Later {
         bool

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/rng.h"
+#include "obs/prof/prof.h"
 #include "sim/event_loop.h"
 
 namespace raizn {
@@ -39,6 +40,7 @@ WorkloadRunner::WorkloadRunner(EventLoop *loop, IoTarget *target)
 std::vector<JobResult>
 WorkloadRunner::run(const std::vector<JobSpec> &jobs, Sampler *sampler)
 {
+    PROF_SCOPE("wkld.run");
     auto states = std::make_shared<std::vector<JobState>>();
     states->reserve(jobs.size());
     for (const JobSpec &s : jobs) {

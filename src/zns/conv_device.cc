@@ -33,8 +33,9 @@ ConvDevice::complete(Tick when, IoCallback cb, IoResult result)
     result.complete_tick = when;
     uint64_t epoch = epoch_;
     loop_->schedule_at(
-        when, [this, epoch, cb = std::move(cb),
-               result = std::move(result)]() mutable {
+        when, "conv.complete",
+        [this, epoch, cb = std::move(cb),
+         result = std::move(result)]() mutable {
             if (epoch != epoch_)
                 return;
             cb(std::move(result));

@@ -77,8 +77,9 @@ ZnsDevice::complete(Tick when, IoCallback cb, IoResult result,
     result.complete_tick = when;
     uint64_t epoch = epoch_;
     loop_->schedule_at(
-        when, [this, epoch, cb = std::move(cb), apply = std::move(apply),
-               result = std::move(result), tev]() mutable {
+        when, "zns.complete",
+        [this, epoch, cb = std::move(cb), apply = std::move(apply),
+         result = std::move(result), tev]() mutable {
             // Completions from before a power cut never reach the host,
             // and their durability/state effects never land.
             if (epoch != epoch_)

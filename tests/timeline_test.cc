@@ -180,15 +180,23 @@ TEST(Timeline, CsvAndJsonShape)
     drive(loop, 2, 1000, [c](uint64_t) { c->inc(); });
 
     std::string csv = tl.to_csv();
-    EXPECT_EQ(csv.compare(0, 4, "t_s,"), 0) << csv;
+    EXPECT_EQ(csv.compare(0, 12, "t_s,host_ns,"), 0) << csv;
     EXPECT_NE(csv.find("test.ops.rate"), std::string::npos);
     // Header plus one line per row.
     EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
 
     std::string json = tl.to_json();
     EXPECT_NE(json.find("\"interval_ns\": 1000"), std::string::npos);
-    EXPECT_NE(json.find("\"columns\""), std::string::npos);
+    EXPECT_NE(json.find("\"columns\": [\"t_ns\", \"host_ns\""),
+              std::string::npos);
     EXPECT_NE(json.find("\"rows\""), std::string::npos);
+
+    // host_ns is monotonic non-decreasing across rows.
+    uint64_t prev = 0;
+    for (const TimelineRow &r : tl.rows()) {
+        EXPECT_GE(r.host_ns, prev);
+        prev = r.host_ns;
+    }
 }
 
 TEST(Timeline, StopDisarmsSampler)

@@ -15,12 +15,23 @@ records inside a "points" array are matched by the tuple of their
 string/bool fields (the identity columns), so reordering points is
 fine but adding/dropping one is a failure.
 
+A band may also carry "warn": true, marking it report-only: a
+violation prints a WARN line but does not fail the compare.  This is
+for host-clock measurements (wall_ms, events_per_sec, ns_per_op, ...)
+which depend on the machine running the bench -- the bands are wide
+and informational until the optimisation work they exist to watch
+lands, at which point they can be tightened and the warn flag
+dropped.  The self-test still requires warn-band perturbations to be
+*detected* (as warnings), so report-only bands cannot silently rot.
+
 Modes:
     bench_gate.py compare <baseline.json> <candidate.json> [...]
-        Pairwise compare; exits 1 on any violation.
+        Pairwise compare; exits 1 on any hard violation.
     bench_gate.py self-test <baseline.json> [...]
+    bench_gate.py --self-test <baseline.json> [...]
         Perturbs each toleranced field by ~2.5x its band and checks
-        the comparison FAILS -- proves the gate can actually trip.
+        the comparison trips (error, or WARN for report-only bands)
+        -- proves the gate can actually detect a regression.
 """
 
 import copy
@@ -46,7 +57,7 @@ def identity_of(record):
     )
 
 
-def check_value(path, base, new, band, errors):
+def check_value(path, base, new, band, errors, warnings):
     """One leaf value. `band` is the tolerance entry or None."""
     if is_number(base) and is_number(new):
         rel = band.get("rel", 0.0) if band else 0.0
@@ -54,16 +65,20 @@ def check_value(path, base, new, band, errors):
         limit = absol + rel * abs(base)
         if abs(new - base) > limit:
             kind = "tolerance" if band else "exact-match"
-            errors.append(
+            msg = (
                 f"{path}: {base} -> {new} "
                 f"(|delta|={abs(new - base):.6g} > {kind} "
                 f"limit {limit:.6g})"
             )
+            if band and band.get("warn"):
+                warnings.append(msg)
+            else:
+                errors.append(msg)
     elif base != new:
         errors.append(f"{path}: {base!r} -> {new!r}")
 
 
-def check_node(path, base, new, tolerance, errors):
+def check_node(path, base, new, tolerance, errors, warnings):
     if isinstance(base, dict) and isinstance(new, dict):
         for k in sorted(set(base) | set(new)):
             sub = f"{path}.{k}" if path else k
@@ -74,10 +89,11 @@ def check_node(path, base, new, tolerance, errors):
             elif k not in base:
                 errors.append(f"{sub}: not in baseline (new field)")
             else:
-                check_node(sub, base[k], new[k], tolerance, errors)
+                check_node(sub, base[k], new[k], tolerance, errors,
+                           warnings)
     elif isinstance(base, list) and isinstance(new, list):
         if base and all(isinstance(r, dict) for r in base):
-            match_records(path, base, new, tolerance, errors)
+            match_records(path, base, new, tolerance, errors, warnings)
         else:
             if len(base) != len(new):
                 errors.append(
@@ -85,17 +101,18 @@ def check_node(path, base, new, tolerance, errors):
                 )
                 return
             for i, (b, n) in enumerate(zip(base, new)):
-                check_node(f"{path}[{i}]", b, n, tolerance, errors)
+                check_node(f"{path}[{i}]", b, n, tolerance, errors,
+                           warnings)
     else:
         # Leaf: the field name (last path component) selects the band.
         field = path.rsplit(".", 1)[-1].split("[")[0]
         band = tolerance.get(field)
         if path.split(".", 1)[0] in CONFIG_KEYS:
             band = None  # config always exact
-        check_value(path, base, new, band, errors)
+        check_value(path, base, new, band, errors, warnings)
 
 
-def match_records(path, base, new, tolerance, errors):
+def match_records(path, base, new, tolerance, errors, warnings):
     """Records matched by string/bool identity, order-independent."""
     new_by_id = {}
     for r in new:
@@ -109,7 +126,7 @@ def match_records(path, base, new, tolerance, errors):
                           f"from candidate")
             continue
         n = bucket.pop(0)
-        check_node(f"{path}[{label}]", b, n, tolerance, errors)
+        check_node(f"{path}[{label}]", b, n, tolerance, errors, warnings)
     for ident, leftover in new_by_id.items():
         for _ in leftover:
             label = ", ".join(f"{k}={v}" for k, v in ident)
@@ -117,11 +134,12 @@ def match_records(path, base, new, tolerance, errors):
 
 
 def compare(base, new):
-    """Returns a list of violation strings (empty = pass)."""
+    """Returns (errors, warnings) lists of violation strings."""
     tolerance = base.get("tolerance", {})
     errors = []
-    check_node("", base, new, tolerance, errors)
-    return errors
+    warnings = []
+    check_node("", base, new, tolerance, errors, warnings)
+    return errors, warnings
 
 
 def perturbations(base):
@@ -174,32 +192,38 @@ def cmd_compare(pairs):
             base = json.load(fh)
         with open(new_path) as fh:
             new = json.load(fh)
-        errors = compare(base, new)
+        errors, warnings = compare(base, new)
+        for w in warnings:
+            print(f"WARN {base_path} vs {new_path}: {w}")
         if errors:
             failed = True
             print(f"FAIL {base_path} vs {new_path}:")
             for e in errors:
                 print(f"  {e}")
         else:
-            print(f"ok   {base_path} vs {new_path}")
+            print(f"ok   {base_path} vs {new_path}"
+                  + (f" ({len(warnings)} warning(s))" if warnings else ""))
     return 1 if failed else 0
 
 
 def cmd_self_test(paths):
-    """The gate must trip on every out-of-band perturbation and stay
-    quiet on an identical copy; otherwise the gate itself is broken."""
+    """The gate must trip on every out-of-band perturbation (error, or
+    warning for report-only bands) and stay quiet on an identical copy;
+    otherwise the gate itself is broken."""
     failed = False
     for base_path in paths:
         with open(base_path) as fh:
             base = json.load(fh)
-        if compare(base, copy.deepcopy(base)):
+        errors, warnings = compare(base, copy.deepcopy(base))
+        if errors or warnings:
             print(f"FAIL {base_path}: identical copy did not pass")
             failed = True
             continue
         n = 0
         for path, mutated in perturbations(base):
             n += 1
-            if not compare(base, mutated):
+            errors, warnings = compare(base, mutated)
+            if not errors and not warnings:
                 print(f"FAIL {base_path}: perturbing {path} 2.5x out "
                       f"of band was not detected")
                 failed = True
@@ -217,7 +241,7 @@ def main(argv):
     if len(argv) >= 4 and argv[1] == "compare" and len(argv) % 2 == 0:
         pairs = list(zip(argv[2::2], argv[3::2]))
         return cmd_compare(pairs)
-    if len(argv) >= 3 and argv[1] == "self-test":
+    if len(argv) >= 3 and argv[1] in ("self-test", "--self-test"):
         return cmd_self_test(argv[2:])
     print(__doc__.strip(), file=sys.stderr)
     return 2
