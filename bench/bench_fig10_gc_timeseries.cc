@@ -26,6 +26,7 @@
 #include <string>
 
 #include "bench_util.h"
+#include "obs/ledger.h"
 
 using namespace raizn;
 using namespace raizn::bench;
@@ -95,8 +96,14 @@ run_mdraid(const ObsOptions &oo, const BenchScale &scale)
     auto arr = make_mdraid_array(scale);
     obs::MetricsRegistry reg;
     arr.vol->attach_observability(&reg, nullptr);
+    // Byte-provenance columns: per-cause byte rates + WAF/RAF gauges
+    // ride along in every timeseries CSV row.
+    obs::IoLedger ledger;
+    arr.vol->attach_ledger(&ledger);
+    ledger.link_metrics(&reg);
     auto tl = make_timeline(oo, arr.loop.get(), &reg);
     arr.vol->install_timeline(tl.get());
+    ledger.install_probe(tl.get());
     obs::AnomalyDetector det(
         collapse_config("mdraid.sectors_written.rate"));
     tl->set_detector(&det);
@@ -135,8 +142,14 @@ run_raizn(const ObsOptions &oo, const BenchScale &scale)
     auto arr = make_raizn_array(scale);
     obs::MetricsRegistry reg;
     arr.vol->attach_observability(&reg, nullptr);
+    // Same byte-provenance columns as the mdraid series, so the two
+    // CSVs line up cause-for-cause.
+    obs::IoLedger ledger;
+    arr.vol->attach_ledger(&ledger);
+    ledger.link_metrics(&reg);
     auto tl = make_timeline(oo, arr.loop.get(), &reg);
     arr.vol->install_timeline(tl.get());
+    ledger.install_probe(tl.get());
     obs::AnomalyDetector det(
         collapse_config("raizn.sectors_written.rate"));
     tl->set_detector(&det);

@@ -16,6 +16,7 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "obs/ledger.h"
 
 using namespace raizn;
 using namespace raizn::bench;
@@ -78,14 +79,22 @@ instrumented_pass(const ObsOptions &oo)
     BenchObs obs;
     obs.opts = oo;
     uint32_t num_devices = 0;
+    // Outlive the metrics export below: the registry holds pointers
+    // linked into the volume's stats structs and the ledger's cause
+    // aggregates.
+    RaiznArray arr;
+    obs::IoLedger ledger;
     {
         PROF_SCOPE("bench.fig8.instrumented");
         BenchScale scale;
         scale.su_sectors = 16; // 64 KiB, the paper's default
-        auto arr = make_raizn_array(scale);
+        arr = make_raizn_array(scale);
         arr.vol->attach_observability(&obs.registry, &obs.trace);
+        arr.vol->attach_ledger(&ledger);
+        ledger.link_metrics(&obs.registry);
         auto tl = make_timeline(oo, arr.loop.get(), &obs.registry);
         arr.vol->install_timeline(tl.get());
+        ledger.install_probe(tl.get());
         tl->start();
         RaiznTarget target(arr.vol.get());
         uint64_t zone_cap = arr.vol->zone_capacity();
@@ -109,7 +118,22 @@ instrumented_pass(const ObsOptions &oo)
     std::printf("\ntrace coverage of write wall time: min=%.1f%% "
                 "mean=%.1f%% over %zu sampled writes\n", worst * 100,
                 mean * 100, n);
+    std::printf("\n-- where do the bytes go? --\n%s",
+                ledger.breakdown_table().c_str());
+    ledger.refresh_gauges();
     obs.finish(num_devices);
+
+    // Conservation audit: every device byte must be attributed to
+    // exactly one cause; an untagged or double-counted sub-IO fails
+    // the smoke test here.
+    obs::LedgerAudit audit = ledger.audit();
+    if (!audit.ok()) {
+        std::fprintf(stderr, "FAIL: ledger conservation audit:\n%s",
+                     audit.summary().c_str());
+        return 1;
+    }
+    std::printf("ledger conservation audit: ok (waf=%.3f raf=%.3f)\n",
+                ledger.waf(), ledger.raf());
 
     // Self-check for CI: every sampled write must be ≥95% accounted
     // for by its stage spans, else the trace is lying about where

@@ -50,8 +50,11 @@ usage(const char *argv0)
             "  --bitflip-rate R  flip one bit of read payloads at rate R\n"
             "  --fault-seed S    seed for the fault schedule\n"
             "  --slow-dev D      make device D 8x slower (fail-slow)\n"
-            "  --trace-on-failure DIR  dump each failing point's\n"
-            "                    pre-cut Chrome trace to DIR\n"
+            "  --dump-on-failure DIR  write a triage bundle per\n"
+            "                    failing point to DIR/point_<N>/:\n"
+            "                    trace.json, metrics.json,\n"
+            "                    timeline.csv, prof.json, ledger.json\n"
+            "  --trace-on-failure DIR  alias for --dump-on-failure\n"
             "  --phase workload|rebuild[:dev]\n"
             "                    rebuild: run the workload, fail :dev\n"
             "                    (default 1), cut power during the\n"
@@ -132,7 +135,7 @@ main(int argc, char **argv)
     double err_rate = 0.0, bitflip_rate = 0.0;
     uint64_t fault_seed = 0;
     int slow_dev = -1;
-    std::string trace_dir;
+    std::string dump_dir;
     auto phase = ChkOptions::Phase::kWorkload;
     uint32_t rebuild_dev = 1;
     uint64_t rebuild_rate = 0;
@@ -193,9 +196,9 @@ main(int argc, char **argv)
             fault_seed = strtoull(next(), nullptr, 0);
         } else if (a == "--slow-dev") {
             slow_dev = static_cast<int>(strtol(next(), nullptr, 0));
-        } else if (a == "--trace-on-failure") {
-            trace_dir = next();
-            if (trace_dir.empty())
+        } else if (a == "--dump-on-failure" || a == "--trace-on-failure") {
+            dump_dir = next();
+            if (dump_dir.empty())
                 return usage(argv[0]);
         } else if (a == "--phase") {
             std::string p = next();
@@ -299,13 +302,13 @@ main(int argc, char **argv)
     opts.phase = phase;
     opts.rebuild_dev = rebuild_dev;
     opts.rebuild_rate = rebuild_rate;
-    if (!trace_dir.empty()) {
-        if (mkdir(trace_dir.c_str(), 0755) != 0 && errno != EEXIST) {
-            fprintf(stderr, "cannot create %s: %s\n", trace_dir.c_str(),
+    if (!dump_dir.empty()) {
+        if (mkdir(dump_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+            fprintf(stderr, "cannot create %s: %s\n", dump_dir.c_str(),
                     strerror(errno));
             return 2;
         }
-        opts.trace_dir = trace_dir;
+        opts.dump_dir = dump_dir;
     }
 
     std::string engine_arg = is_raizn

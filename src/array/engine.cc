@@ -13,6 +13,7 @@
 #include "array/gf256.h"
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/prof/prof.h"
 #include "obs/trace.h"
@@ -51,6 +52,7 @@ struct ZonedEngine::WriteCtx {
     bool issued_all = false;
     Status status;
     WriteFlags flags;
+    uint32_t nsectors = 0; ///< logical length (acked-user-byte ledger)
     IoCallback cb;
     Tick t0 = 0;
     uint64_t req_id = 0;      ///< trace request id (0 = untraced)
@@ -580,6 +582,7 @@ ZonedEngine::issue_barrier_devices(std::shared_ptr<FlushBarrier> b)
         ++*pending;
         IoRequest req = IoRequest::flush();
         req.trace_stage = "eng.flush";
+        req.cause = obs::Cause::kUserData;
         dev_submit(d, std::move(req),
                    [this, d, pending, st, done](IoResult r) {
                        if (!r.status.is_ok() &&
@@ -660,6 +663,7 @@ ZonedEngine::append_wal(WalRecord rec, StatusCb cb)
             ? IoRequest::write(slot, payload, /*fua=*/true)
             : IoRequest::write_len(slot, 1, /*fua=*/true);
         req.trace_stage = "eng.wal";
+        req.cause = obs::Cause::kWalMd;
         chain_submit(d, 0, std::move(req),
                      [this, d, pending, st, shared_cb](IoResult r) {
                          if (!r.status.is_ok() &&
@@ -756,6 +760,7 @@ ZonedEngine::write_internal(uint64_t lba, std::vector<uint8_t> data,
 
     auto ctx = std::make_shared<WriteCtx>();
     ctx->flags = flags;
+    ctx->nsectors = nsectors;
     ctx->cb = std::move(cb);
     ctx->t0 = loop_->now();
     if (trace_ != nullptr)
@@ -850,6 +855,7 @@ ZonedEngine::issue_write(uint32_t zone, uint64_t off,
             ? IoRequest::write_len(dev_row_lba(zone, row), len)
             : IoRequest::write(dev_row_lba(zone, row), std::move(payload));
         req.trace_stage = "eng.chunk_write";
+        req.cause = ctx->flags.origin;
         req.trace_req = ctx->req_id;
         uint64_t id = track_io();
         ++ctx->pending;
@@ -981,6 +987,7 @@ ZonedEngine::complete_stripe(uint32_t zone, uint64_t stripe)
             req = IoRequest::write_len(dev_row_lba(zone, stripe * su), su);
         }
         req.trace_stage = "eng.parity";
+        req.cause = obs::Cause::kParity;
         ++stats_.parity_writes;
         ++t.parity_pending;
         chain_submit(static_cast<uint32_t>(pd), phys_zone(zone),
@@ -1001,6 +1008,7 @@ ZonedEngine::complete_stripe(uint32_t zone, uint64_t stripe)
             req = IoRequest::write_len(dev_row_lba(zone, stripe * su), su);
         }
         req.trace_stage = "eng.q_parity";
+        req.cause = obs::Cause::kParity;
         ++stats_.q_parity_writes;
         ++t.parity_pending;
         chain_submit(static_cast<uint32_t>(qd), phys_zone(zone),
@@ -1032,6 +1040,9 @@ ZonedEngine::finish_write(std::shared_ptr<WriteCtx> ctx)
         r.status = std::move(s);
         if (write_lat_ != nullptr)
             write_lat_->record(loop_->now() - ctx->t0);
+        if (ledger_ != nullptr && r.status.is_ok() &&
+            ctx->flags.origin == obs::Cause::kUserData)
+            ledger_->note_user_write(ctx->nsectors);
         if (trace_ != nullptr && ctx->total_token != 0) {
             trace_->end_span(ctx->total_token, loop_->now());
             ctx->total_token = 0;
@@ -1191,6 +1202,7 @@ ZonedEngine::reset_zone(uint32_t zone, IoCallback cb)
                     static_cast<uint64_t>(zone + 1) *
                     devs_[0]->geometry().zone_size);
                 req.trace_stage = "eng.zone_reset";
+                req.cause = obs::Cause::kZoneMgmt;
                 chain_submit(d, phys_zone(zone), std::move(req),
                              [this, d, pending, st, after](IoResult r) {
                                  if (!r.status.is_ok() &&
@@ -1314,6 +1326,7 @@ ZonedEngine::finish_zone(uint32_t zone, IoCallback cb)
                         dev_row_lba(zone, stripe * su), su);
                 }
                 req.trace_stage = "eng.parity_seal";
+                req.cause = obs::Cause::kParity;
                 ++stats_.parity_writes;
                 ++t.parity_pending;
                 ++*pending;
@@ -1336,6 +1349,7 @@ ZonedEngine::finish_zone(uint32_t zone, IoCallback cb)
                         dev_row_lba(zone, stripe * su), su);
                 }
                 req.trace_stage = "eng.q_seal";
+                req.cause = obs::Cause::kParity;
                 ++stats_.q_parity_writes;
                 ++t.parity_pending;
                 ++*pending;
@@ -1357,6 +1371,7 @@ ZonedEngine::finish_zone(uint32_t zone, IoCallback cb)
                 static_cast<uint64_t>(zone + 1) *
                 devs_[0]->geometry().zone_size);
             req.trace_stage = "eng.zone_finish";
+            req.cause = obs::Cause::kZoneMgmt;
             chain_submit(d, phys_zone(zone), std::move(req),
                          [this, d, pending, st, after](IoResult r) {
                              if (!r.status.is_ok() &&
@@ -1386,6 +1401,13 @@ ZonedEngine::read(uint64_t lba, uint32_t nsectors, IoCallback cb)
     PROF_SCOPE("eng.read");
     ++stats_.logical_reads;
     stats_.sectors_read += nsectors;
+    if (ledger_ != nullptr) {
+        cb = [this, nsectors, inner = std::move(cb)](IoResult r) {
+            if (r.status.is_ok())
+                ledger_->note_user_read(nsectors);
+            inner(std::move(r));
+        };
+    }
     if (nsectors == 0 || lba + nsectors > capacity()) {
         loop_->schedule_after(1, [cb = std::move(cb)] {
             IoResult r;
@@ -1557,6 +1579,7 @@ ZonedEngine::read_mirror(uint32_t zone, uint64_t off, uint32_t len,
     uint32_t d = (*srcs)[idx];
     IoRequest req = IoRequest::read(dev_row_lba(zone, off), len);
     req.trace_stage = "eng.mirror_read";
+    req.cause = obs::Cause::kUserData;
     chain_submit(
         d, phys_zone(zone), std::move(req),
         [this, zone, off, len, srcs, idx, d,
@@ -1656,6 +1679,7 @@ ZonedEngine::read_chunk(uint32_t zone, uint64_t stripe, uint32_t u,
         uint32_t d = (*srcs)[idx];
         IoRequest req = IoRequest::read(dev_row_lba(zone, row0), n);
         req.trace_stage = "eng.chunk_read";
+        req.cause = obs::Cause::kUserData;
         const uint64_t crc_off =
             stripe * cfg_.su_sectors *
                 static_cast<uint64_t>(units_of(ez.kind)) +
@@ -1791,6 +1815,7 @@ ZonedEngine::reconstruct_chunk(uint32_t zone, uint64_t stripe, uint32_t u,
             ++rc->pending;
             IoRequest req = IoRequest::read(dev_row_lba(zone, row0), n);
             req.trace_stage = "eng.reconstruct_read";
+            req.cause = obs::Cause::kParity;
             chain_submit(d, phys_zone(zone), std::move(req),
                          [this, d, rc, sink = std::move(sink),
                           complete](IoResult r) {

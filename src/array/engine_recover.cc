@@ -68,9 +68,9 @@ ZonedEngine::replay_wal()
     for (uint32_t d = 0; d < n; ++d) {
         if (failed_devs_[d] || heights[d] == 0)
             continue;
-        IoResult r = submit_sync(
-            *loop_, *devs_[d],
-            IoRequest::read(0, static_cast<uint32_t>(heights[d])));
+        IoRequest rd = IoRequest::read(0, static_cast<uint32_t>(heights[d]));
+        rd.cause = obs::Cause::kWalMd;
+        IoResult r = submit_sync(*loop_, *devs_[d], std::move(rd));
         if (!r.status.is_ok())
             return r.status;
         for (uint64_t s = 0; s < heights[d]; ++s) {
@@ -96,9 +96,10 @@ ZonedEngine::replay_wal()
             std::vector<uint8_t> sector = merged[s].valid
                 ? encode_wal(merged[s].rec)
                 : std::vector<uint8_t>(kSectorSize, 0);
-            IoResult w = submit_sync(
-                *loop_, *devs_[d],
-                IoRequest::write(s, std::move(sector), /*fua=*/true));
+            IoRequest wr =
+                IoRequest::write(s, std::move(sector), /*fua=*/true);
+            wr.cause = obs::Cause::kWalMd;
+            IoResult w = submit_sync(*loop_, *devs_[d], std::move(wr));
             if (!w.status.is_ok())
                 return w.status;
         }
@@ -161,8 +162,10 @@ ZonedEngine::replay_wal()
             for (uint32_t d = 0; d < n; ++d) {
                 if (failed_devs_[d])
                     continue;
-                IoResult r = submit_sync(*loop_, *devs_[d],
-                                         IoRequest::zone_reset(lba));
+                IoRequest rst = IoRequest::zone_reset(lba);
+                rst.cause = obs::Cause::kWalMd;
+                IoResult r =
+                    submit_sync(*loop_, *devs_[d], std::move(rst));
                 if (!r.status.is_ok())
                     return r.status;
                 np |= bit(d);
@@ -180,9 +183,11 @@ ZonedEngine::replay_wal()
             for (uint32_t d = 0; d < n; ++d) {
                 if (failed_devs_[d])
                     continue;
-                IoResult r = submit_sync(
-                    *loop_, *devs_[d],
-                    IoRequest::write(slot, sector, /*fua=*/true));
+                IoRequest wr =
+                    IoRequest::write(slot, sector, /*fua=*/true);
+                wr.cause = obs::Cause::kWalMd;
+                IoResult r =
+                    submit_sync(*loop_, *devs_[d], std::move(wr));
                 if (!r.status.is_ok())
                     return r.status;
             }
@@ -350,6 +355,7 @@ ZonedEngine::rebuild_device(uint32_t dev, ProgressCb progress,
     LOG_INFO("%s: rebuilding member %u", metric_prefix().c_str(), dev);
     IoRequest rst = IoRequest::zone_reset(0);
     rst.trace_stage = "eng.rebuild";
+    rst.cause = obs::Cause::kRebuild;
     chain_submit(dev, 0, std::move(rst),
                  [this, alive = alive_](IoResult r) {
                      if (!*alive)
@@ -408,6 +414,7 @@ ZonedEngine::copy_wal_to_target(StatusCb done)
                 ? IoRequest::write(slot, std::move(payload), /*fua=*/true)
                 : IoRequest::write_len(slot, 1, /*fua=*/true);
             wr.trace_stage = "eng.rebuild";
+            wr.cause = obs::Cause::kRebuild;
             chain_submit(t, 0, std::move(wr),
                          [this, step, conclude, alive](IoResult w) {
                              if (!*alive)
@@ -426,6 +433,7 @@ ZonedEngine::copy_wal_to_target(StatusCb done)
         }
         IoRequest rd = IoRequest::read(slot, 1);
         rd.trace_stage = "eng.rebuild";
+        rd.cause = obs::Cause::kRebuild;
         chain_submit(static_cast<uint32_t>(src), 0, std::move(rd),
                      [write_slot, conclude, alive](IoResult r) {
                          if (!*alive)
@@ -455,6 +463,7 @@ ZonedEngine::rebuild_zone(uint32_t zone)
             }
             IoRequest fl = IoRequest::flush();
             fl.trace_stage = "eng.rebuild";
+            fl.cause = obs::Cause::kRebuild;
             chain_submit(static_cast<uint32_t>(rebuild_dev_), 0,
                          std::move(fl), [this, alive](IoResult r) {
                              if (!*alive)
@@ -520,6 +529,7 @@ ZonedEngine::rebuild_zone(uint32_t zone)
             static_cast<uint64_t>(zone + 1) *
             devs_[0]->geometry().zone_size);
         rst.trace_stage = "eng.rebuild";
+        rst.cause = obs::Cause::kRebuild;
         chain_submit(t, phys_zone(zone), std::move(rst),
                      [this, zone, t, limit, zone_done,
                       alive = alive_](IoResult r) {
@@ -589,6 +599,7 @@ ZonedEngine::rebuild_mirror_rows(uint32_t zone, uint64_t row,
             static_cast<uint64_t>(zone + 1) *
             devs_[0]->geometry().zone_size);
         req.trace_stage = "eng.rebuild";
+        req.cause = obs::Cause::kRebuild;
         chain_submit(t, phys_zone(zone), std::move(req),
                      [done = std::move(done)](IoResult r) {
                          done(r.status);
@@ -599,6 +610,7 @@ ZonedEngine::rebuild_mirror_rows(uint32_t zone, uint64_t row,
         static_cast<uint32_t>(std::min<uint64_t>(limit - row, 32));
     IoRequest rd = IoRequest::read(dev_row_lba(zone, row), n);
     rd.trace_stage = "eng.rebuild";
+    rd.cause = obs::Cause::kRebuild;
     chain_submit(
         src, phys_zone(zone), std::move(rd),
         [this, zone, row, n, limit, src, done = std::move(done),
@@ -615,6 +627,7 @@ ZonedEngine::rebuild_mirror_rows(uint32_t zone, uint64_t row,
                                    std::move(r.data))
                 : IoRequest::write_len(dev_row_lba(zone, row), n);
             wr.trace_stage = "eng.rebuild";
+            wr.cause = obs::Cause::kRebuild;
             chain_submit(tgt, phys_zone(zone), std::move(wr),
                          [this, zone, row, n, limit, src, done, alive](
                              IoResult w) {
@@ -653,6 +666,7 @@ ZonedEngine::rebuild_stripe_from(uint32_t zone, uint64_t stripe,
             static_cast<uint64_t>(zone + 1) *
             devs_[0]->geometry().zone_size);
         req.trace_stage = "eng.rebuild";
+        req.cause = obs::Cause::kRebuild;
         chain_submit(t, phys_zone(zone), std::move(req),
                      [done = std::move(done)](IoResult r) {
                          done(r.status);
@@ -677,6 +691,7 @@ ZonedEngine::rebuild_stripe_from(uint32_t zone, uint64_t stripe,
             ? IoRequest::write_len(dev_row_lba(zone, row), nsect)
             : IoRequest::write(dev_row_lba(zone, row), std::move(data));
         wr.trace_stage = "eng.rebuild";
+        wr.cause = obs::Cause::kRebuild;
         chain_submit(t, phys_zone(zone), std::move(wr),
                      [next](IoResult r) { next(r.status); });
     };
@@ -737,6 +752,7 @@ ZonedEngine::rebuild_stripe_from(uint32_t zone, uint64_t stripe,
             ++*pending;
             IoRequest rd = IoRequest::read(dev_row_lba(zone, row0), su);
             rd.trace_stage = "eng.rebuild";
+            rd.cause = obs::Cause::kRebuild;
             chain_submit(src[u], phys_zone(zone), std::move(rd),
                          [u, bufs, pending, st, fin](IoResult r) {
                              if (!r.status.is_ok()) {
@@ -795,6 +811,7 @@ ZonedEngine::rebuild_stripe_from(uint32_t zone, uint64_t stripe,
         }
         IoRequest rd = IoRequest::read(dev_row_lba(zone, row0), nrows);
         rd.trace_stage = "eng.rebuild";
+        rd.cause = obs::Cause::kRebuild;
         chain_submit(partner, phys_zone(zone), std::move(rd),
                      [row0, nrows, next, write_target](IoResult r) {
                          if (!r.status.is_ok()) {
@@ -935,9 +952,9 @@ ZonedEngine::scrub_zone(uint32_t zone, ScrubReport *rep)
     };
     auto read_rows = [&](uint32_t d, uint64_t row, uint32_t n,
                          std::vector<uint8_t> *out) {
-        IoResult r = submit_sync(
-            *loop_, *devs_[d],
-            IoRequest::read(dev_row_lba(zone, row), n));
+        IoRequest rd = IoRequest::read(dev_row_lba(zone, row), n);
+        rd.cause = obs::Cause::kScrub;
+        IoResult r = submit_sync(*loop_, *devs_[d], std::move(rd));
         if (r.status.is_ok())
             *out = std::move(r.data);
         return r.status;

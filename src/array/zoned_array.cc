@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "sim/event_loop.h"
@@ -161,8 +162,24 @@ ZonedArray::attach_observability(obs::MetricsRegistry *reg,
 }
 
 void
+ZonedArray::attach_ledger(obs::IoLedger *ledger)
+{
+    ledger_ = ledger;
+    for (uint32_t d = 0; d < devs_.size(); ++d) {
+        if (ledger != nullptr)
+            ledger->attach_device(d, devs_[d]);
+        devs_[d]->set_ledger(ledger, d);
+    }
+}
+
+void
 ZonedArray::dev_submit(uint32_t dev, IoRequest req, IoCallback cb)
 {
+    // Provenance funnel: every data-path sub-I/O must arrive tagged.
+    // The untagged note makes the conservation audit fail loudly and
+    // name the stage, instead of silently misattributing the bytes.
+    if (ledger_ != nullptr && req.cause == obs::Cause::kUntagged)
+        ledger_->note_untagged_submit(req.trace_stage);
     if (trace_ != nullptr || !dev_obs_.empty()) {
         const char *stage = req.trace_stage != nullptr
             ? req.trace_stage
@@ -226,6 +243,13 @@ ZonedArray::promote_spare_base(uint32_t dev)
     spare_ = nullptr;
     health_->reset_device(dev);
     ++*cells_.spares_promoted;
+    // The slot now points at a different physical device whose
+    // counters started from zero: re-baseline the audit marks and
+    // route its recording into this slot.
+    if (ledger_ != nullptr) {
+        ledger_->rebind_device(dev, devs_[dev]);
+        devs_[dev]->set_ledger(ledger_, dev);
+    }
 }
 
 void

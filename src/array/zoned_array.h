@@ -42,6 +42,12 @@ class EventLoop;
 struct WriteFlags {
     bool fua = false;
     bool preflush = false;
+    /// Byte-provenance of this logical write. Defaults to user data;
+    /// internal writers reusing the volume write path (env GC
+    /// relocation) override it so their data sub-I/Os carry the real
+    /// cause and stay out of the acked-user-bytes WAF denominator.
+    /// Parity/WAL fan-out keeps its own cause regardless of origin.
+    obs::Cause origin = obs::Cause::kUserData;
 };
 
 using StatusCb = std::function<void(Status)>;
@@ -137,6 +143,17 @@ class ZonedArray
     /// Registers gauge-refresh probes for timeseries sampling.
     virtual void install_timeline(obs::Timeline *tl) { (void)tl; }
 
+    /**
+     * Hooks every member device (and a later-promoted spare) into the
+     * byte-provenance ledger: binds slot i to devs_[i] and installs
+     * the device back-pointers, so device-layer recording and the
+     * dev_submit untagged-funnel check both go live. Pass null to
+     * detach. The acked-user-byte denominators (note_user_read/write)
+     * are the volume subclass's job at its ack points.
+     */
+    void attach_ledger(obs::IoLedger *ledger);
+    obs::IoLedger *ledger() const { return ledger_; }
+
     // ---- Introspection ---------------------------------------------
     uint32_t num_devices() const
     {
@@ -219,6 +236,7 @@ class ZonedArray
     // be re-linked when set_resilience recreates the monitor.
     obs::MetricsRegistry *reg_ = nullptr;
     obs::TraceRecorder *trace_ = nullptr;
+    obs::IoLedger *ledger_ = nullptr;
     struct DevObs {
         obs::LatencyMetric *read_ns = nullptr;
         obs::LatencyMetric *write_ns = nullptr;

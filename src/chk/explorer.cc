@@ -1,11 +1,18 @@
 #include "chk/explorer.h"
 
+#include <sys/stat.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 
 #include "array/engine.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/ledger.h"
+#include "obs/metrics.h"
 #include "obs/prof/prof.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "sim/event_loop.h"
 
@@ -275,6 +282,8 @@ CrashPointExplorer::CrashPointExplorer(ChkConfig cfg, ChkWorkload wl,
 {
 }
 
+CrashPointExplorer::~CrashPointExplorer() = default;
+
 bool
 CrashPointExplorer::drive(Array &arr, ShadowVolume &shadow,
                           uint64_t crash_at, uint64_t *completions,
@@ -350,8 +359,26 @@ CrashPointExplorer::drive(Array &arr, ShadowVolume &shadow,
         }
         arr.set_vol(std::move(created).value());
     }
-    if (run_trace_ != nullptr)
-        arr.vol->attach_observability(nullptr, run_trace_);
+    if (run_trace_ != nullptr || run_reg_ != nullptr)
+        arr.vol->attach_observability(run_reg_, run_trace_);
+    if (run_ledger_ != nullptr) {
+        arr.vol->attach_ledger(run_ledger_);
+        if (run_reg_ != nullptr)
+            run_ledger_->link_metrics(run_reg_);
+    }
+    if (run_reg_ != nullptr) {
+        // Ring-buffered tail of the run's telemetry. Exploration
+        // workloads cover a few virtual milliseconds, so the sampling
+        // period is far finer than the benches' 100ms default.
+        obs::TimelineConfig tc;
+        tc.interval = 50 * kNsPerUs;
+        tc.capacity = 256;
+        run_tl_ =
+            std::make_unique<obs::Timeline>(arr.loop.get(), run_reg_, tc);
+        if (run_ledger_ != nullptr)
+            run_ledger_->install_probe(run_tl_.get());
+        run_tl_->start();
+    }
     if (inject) {
         ZonedArray::ResilienceConfig rcfg;
         if (opts_.faults.stuck_rate > 0 || opts_.fail_slow_dev >= 0) {
@@ -477,42 +504,93 @@ CrashPointExplorer::count_boundaries()
 void
 CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
 {
+    const bool dumping = !opts_.dump_dir.empty();
+    // Bundles carry a per-run host profile; when the CLI already
+    // opened a whole-process window (--prof) it is snapshotted
+    // cumulatively instead of being reset per run.
+    const bool own_prof = dumping && !prof::enabled();
+    if (own_prof)
+        prof::enable();
     PROF_SCOPE("chk.run_one");
     ChkGeom g = cfg_.geom();
     ShadowVolume shadow(g.num_zones, g.zone_cap, true);
+
+    // Triage recorders when dump_dir is set; a failure below dumps
+    // the bundle. Declared before the array: the registry and ledger
+    // are linked into volume/device state by raw pointer, so they must
+    // outlive it (and their artifacts are snapshotted to strings while
+    // the pre-cut objects are still alive). Spans still open at the
+    // cut never entered the trace ring, so trace.json shows exactly
+    // what had completed when power was lost.
+    std::unique_ptr<obs::TraceRecorder> trace;
+    std::unique_ptr<obs::MetricsRegistry> reg;
+    std::unique_ptr<obs::IoLedger> ledger;
+    struct {
+        std::string metrics, timeline, ledger;
+        bool taken = false;
+    } snap;
     Array arr;
     uint64_t completions = 0, hash = 0;
     rep->runs++;
 
-    // Record stage spans for this run when trace_dir is set; a failure
-    // below dumps the pre-cut trace for triage. Spans still open at
-    // the cut never entered the ring, so the dump shows exactly what
-    // had completed when power was lost.
-    std::unique_ptr<obs::TraceRecorder> trace;
     size_t fails_before = rep->failures.size();
-    if (!opts_.trace_dir.empty()) {
+    if (dumping) {
         trace = std::make_unique<obs::TraceRecorder>(1u << 15);
         run_trace_ = trace.get();
+        reg = std::make_unique<obs::MetricsRegistry>();
+        run_reg_ = reg.get();
+        ledger = std::make_unique<obs::IoLedger>();
+        run_ledger_ = ledger.get();
     }
-    auto dump_trace = [&] {
-        run_trace_ = nullptr;
-        if (!trace || rep->failures.size() == fails_before)
+    // Snapshots the state-at-the-cut artifacts. Must run before the
+    // pre-cut loop and volume die: the timeline's probe hangs off that
+    // loop and the registry reads pointers into the volume's stats.
+    auto snapshot = [&] {
+        if (!dumping || snap.taken)
             return;
-        std::string path = opts_.trace_dir +
-            strprintf("/trace_point_%llu.json",
-                      (unsigned long long)crash_at);
-        Status s = trace->write_chrome_json(path, cfg_.num_devices);
-        if (s.is_ok())
-            LOG_INFO("chk: wrote pre-cut trace %s (%zu spans)",
-                     path.c_str(), trace->size());
-        else
+        snap.taken = true;
+        if (run_tl_ != nullptr) {
+            run_tl_->sample_now();
+            run_tl_->stop();
+            snap.timeline = run_tl_->to_csv();
+        }
+        ledger->refresh_gauges();
+        snap.metrics = reg->to_json();
+        snap.ledger = ledger->to_json();
+    };
+    auto dump_bundle = [&] {
+        snapshot();
+        run_trace_ = nullptr;
+        run_reg_ = nullptr;
+        run_ledger_ = nullptr;
+        run_tl_.reset();
+        if (own_prof)
+            prof::disable();
+        if (!dumping || rep->failures.size() == fails_before)
+            return;
+        std::string dir = opts_.dump_dir +
+            strprintf("/point_%llu", (unsigned long long)crash_at);
+        if (mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+            LOG_ERROR("chk: cannot create %s: %s", dir.c_str(),
+                      strerror(errno));
+            return;
+        }
+        Status s = trace->write_chrome_json(dir + "/trace.json",
+                                            cfg_.num_devices);
+        if (!s.is_ok())
             LOG_ERROR("chk: trace dump failed: %s",
                       s.to_string().c_str());
+        prof::write_file(dir + "/metrics.json", snap.metrics);
+        prof::write_file(dir + "/timeline.csv", snap.timeline);
+        prof::write_file(dir + "/ledger.json", snap.ledger);
+        prof::write_file(dir + "/prof.json", prof::summary_json());
+        LOG_INFO("chk: wrote triage bundle %s (%zu trace spans)",
+                 dir.c_str(), trace->size());
     };
 
     if (!drive(arr, shadow, crash_at, &completions, &hash, nullptr,
                rep)) {
-        dump_trace();
+        dump_bundle();
         return;
     }
 
@@ -524,9 +602,12 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
              strprintf("schedule diverged from reference after %llu "
                        "completions",
                        (unsigned long long)completions)});
-        dump_trace();
+        dump_bundle();
         return;
     }
+
+    // The pre-cut objects die below; capture the bundle artifacts now.
+    snapshot();
 
     // Snapshot acknowledged generations, then cut power everywhere.
     std::vector<uint64_t> pre_gens;
@@ -556,7 +637,7 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
         if (!mounted.is_ok()) {
             rep->failures.push_back(
                 {crash_at, "mount", mounted.status().to_string()});
-            dump_trace();
+            dump_bundle();
             return;
         }
         arr.set_vol(std::move(mounted).value());
@@ -569,7 +650,7 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
         if (!mounted.is_ok()) {
             rep->failures.push_back(
                 {crash_at, "mount", mounted.status().to_string()});
-            dump_trace();
+            dump_bundle();
             return;
         }
         arr.set_vol(std::move(mounted).value());
@@ -606,14 +687,14 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
                                      resumed ? "rebuild-resume"
                                              : "rebuild-restart",
                                      rb_st.to_string()});
-            dump_trace();
+            dump_bundle();
             return;
         }
         if (arr.vol->failed_device() >= 0) {
             rep->failures.push_back(
                 {crash_at, "rebuild-resume",
                  "volume still degraded after post-crash rebuild"});
-            dump_trace();
+            dump_bundle();
             return;
         }
         // Late cut points must have at least one durably checkpointed
@@ -632,7 +713,7 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
                            (unsigned long long)crash_at,
                            (unsigned long long)boundaries_,
                            (unsigned long long)total_zones)});
-            dump_trace();
+            dump_bundle();
             return;
         }
     }
@@ -659,7 +740,7 @@ CrashPointExplorer::run_one(uint64_t crash_at, ChkReport *rep)
                                     &rep->failures);
         }
     }
-    dump_trace();
+    dump_bundle();
 }
 
 ChkReport

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -28,6 +29,9 @@
 
 namespace raizn {
 namespace obs {
+class IoLedger;
+class MetricsRegistry;
+class Timeline;
 class TraceRecorder;
 } // namespace obs
 } // namespace raizn
@@ -79,11 +83,16 @@ struct ChkOptions {
     /// Device index given `fail_slow_mult`x latency (-1: none).
     int fail_slow_dev = -1;
     double fail_slow_mult = 8.0;
-    /// When non-empty, every failing crash point dumps the pre-cut
-    /// stage trace of its run (obs/trace.h Chrome JSON) to
-    /// `<trace_dir>/trace_point_<N>.json`. Purely observational: the
-    /// recorder never alters scheduling, so replay hashes still match.
-    std::string trace_dir;
+    /// When non-empty, every failing crash point dumps a triage
+    /// bundle to `<dump_dir>/point_<N>/`: the pre-cut stage trace
+    /// (trace.json), the metrics registry (metrics.json), the tail of
+    /// a ring-buffered timeline (timeline.csv), a host-profile summary
+    /// of the run (prof.json), and the byte-provenance ledger
+    /// (ledger.json). Metrics/timeline/ledger are snapshotted at the
+    /// power cut, so the bundle shows the array's state at the moment
+    /// power was lost. Purely observational: none of the recorders
+    /// alter scheduling, so replay hashes still match.
+    std::string dump_dir;
     /// Crash phase. kWorkload (default) cuts power mid-workload.
     /// kRebuild runs the whole workload to completion untraced, fails
     /// `rebuild_dev`, swaps in a blank replacement and starts a
@@ -113,6 +122,7 @@ class CrashPointExplorer
 {
   public:
     CrashPointExplorer(ChkConfig cfg, ChkWorkload wl, ChkOptions opts);
+    ~CrashPointExplorer();
 
     /// Crash-free reference run: counts boundaries, records the trace
     /// hash prefix for replay verification. Idempotent.
@@ -141,9 +151,15 @@ class CrashPointExplorer
     ChkConfig cfg_;
     ChkWorkload wl_;
     ChkOptions opts_;
-    /// Per-run recorder when opts_.trace_dir is set; drive() attaches
-    /// it to the volume for the workload (pre-cut) phase.
+    /// Per-run triage recorders when opts_.dump_dir is set; drive()
+    /// attaches them to the volume for the pre-cut phase. Raw pointers
+    /// into run_one()'s stack-owned objects; the timeline is created
+    /// by drive() (it needs the run's event loop) and finalized by
+    /// run_one() before that loop dies.
     obs::TraceRecorder *run_trace_ = nullptr;
+    obs::MetricsRegistry *run_reg_ = nullptr;
+    obs::IoLedger *run_ledger_ = nullptr;
+    std::unique_ptr<obs::Timeline> run_tl_;
     bool counted_ = false;
     uint64_t boundaries_ = 0;
     std::vector<uint64_t> ref_hash_; ///< cumulative hash after n events

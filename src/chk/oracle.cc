@@ -198,8 +198,10 @@ check_invariants(EventLoop &loop, RaiznVolume &vol,
                 bool read_ok = true;
                 for (uint32_t k = 0; k < D && read_ok; ++k) {
                     uint32_t d = lay.data_dev(z, s, k);
-                    IoResult r = submit_sync(loop, *devs[d],
-                                             IoRequest::read(pba, su));
+                    IoRequest rd = IoRequest::read(pba, su);
+                    rd.cause = obs::Cause::kScrub;
+                    IoResult r =
+                        submit_sync(loop, *devs[d], std::move(rd));
                     read_ok = r.status.is_ok();
                     if (read_ok)
                         xor_bytes(acc.data(), r.data.data(), acc.size());
@@ -207,8 +209,10 @@ check_invariants(EventLoop &loop, RaiznVolume &vol,
                 if (!read_ok)
                     continue;
                 uint32_t pdev = lay.parity_dev(z, s);
-                IoResult pr = submit_sync(loop, *devs[pdev],
-                                          IoRequest::read(pba, su));
+                IoRequest prd = IoRequest::read(pba, su);
+                prd.cause = obs::Cause::kScrub;
+                IoResult pr =
+                    submit_sync(loop, *devs[pdev], std::move(prd));
                 if (!pr.status.is_ok())
                     continue;
                 if (std::memcmp(acc.data(), pr.data.data(), acc.size()) !=

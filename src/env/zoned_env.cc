@@ -348,8 +348,14 @@ ZonedEnv::append_raw(const std::vector<uint8_t> &data)
     std::vector<uint8_t> chunk(
         data.begin(),
         data.begin() + static_cast<ptrdiff_t>(sectors * kSectorSize));
+    // Relocation writes issued by the cleaner are environment GC, not
+    // new user data: the provenance ledger must keep them out of the
+    // write-amplification denominator.
+    WriteFlags wf;
+    wf.origin =
+        cleaning_ ? obs::Cause::kGc : obs::Cause::kUserData;
     auto r = vol_sync(loop_, [&](IoCallback cb) {
-        vol_->write(lba, std::move(chunk), {}, std::move(cb));
+        vol_->write(lba, std::move(chunk), wf, std::move(cb));
     });
     if (!r.status.is_ok())
         return r.status;

@@ -122,6 +122,14 @@ class FaultInjectingDevice : public BlockDevice
     bool failed() const override { return inner_->failed(); }
     void fail() override { inner_->fail(); }
 
+    /// The inner device does the recording (injected errors never
+    /// reach it, so they are not counted — matching its stats).
+    void
+    set_ledger(obs::IoLedger *ledger, uint32_t dev_index) override
+    {
+        inner_->set_ledger(ledger, dev_index);
+    }
+
     BlockDevice *underlying() const { return inner_; }
     const FaultStats &fault_stats() const { return fstats_; }
     const FaultConfig &config() const { return config_; }

@@ -180,6 +180,9 @@ IoRetrier::prepare_attempt(const std::shared_ptr<OpState> &st)
             // or the error hit after the data landed).
             if (st->orig.fua) {
                 st->active = IoRequest::flush();
+                // Synthesized on behalf of the original write: the
+                // flush inherits its provenance.
+                st->active.cause = st->orig.cause;
                 st->synth_flush = true;
                 issue(st);
                 return;

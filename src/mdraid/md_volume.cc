@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/prof/prof.h"
 #include "obs/timeline.h"
@@ -130,7 +131,8 @@ void
 MdVolume::read_chunk(uint64_t stripe, uint32_t k, uint64_t lo,
                      uint64_t hi,
                      std::function<void(Status, std::vector<uint8_t>)> cb,
-                     const char *trace_stage, uint64_t treq)
+                     const char *trace_stage, uint64_t treq,
+                     obs::Cause cause)
 {
     uint32_t dev = data_dev(stripe, k);
     if (static_cast<int>(dev) == failed_dev_ || devs_[dev]->failed()) {
@@ -142,6 +144,7 @@ MdVolume::read_chunk(uint64_t stripe, uint32_t k, uint64_t lo,
                                      static_cast<uint32_t>(hi - lo));
     rreq.trace_req = treq;
     rreq.trace_stage = trace_stage;
+    rreq.cause = cause;
     dev_submit(dev, std::move(rreq),
                [this, stripe, k, lo, hi, dev,
                 cb = std::move(cb)](IoResult r) mutable {
@@ -187,9 +190,12 @@ MdVolume::reconstruct_chunk(
     };
     auto read_dev = [&](uint32_t dev) {
         ctx->pending++;
-        dev_submit(dev,
-                   IoRequest::read(chunk_pba(stripe) + lo,
-                                   static_cast<uint32_t>(hi - lo)),
+        IoRequest rreq = IoRequest::read(chunk_pba(stripe) + lo,
+                                         static_cast<uint32_t>(hi - lo));
+        // Peer reads that exist only to rebuild a lost chunk are
+        // redundancy traffic, not user reads.
+        rreq.cause = obs::Cause::kParity;
+        dev_submit(dev, std::move(rreq),
                    [this, one, dev](IoResult r) {
                        if (!r.status.is_ok())
                            escalate_dev_error(dev, r.status);
@@ -239,6 +245,13 @@ MdVolume::read(uint64_t lba, uint32_t nsectors, IoCallback cb)
     }
     stats_.logical_reads++;
     stats_.sectors_read += nsectors;
+    if (ledger_ != nullptr) {
+        cb = [this, nsectors, inner = std::move(cb)](IoResult r) {
+            if (r.status.is_ok())
+                ledger_->note_user_read(nsectors);
+            inner(std::move(r));
+        };
+    }
 
     uint64_t treq = 0;
     if (trace_ != nullptr || read_lat_ != nullptr) {
@@ -351,6 +364,13 @@ MdVolume::write_impl(uint64_t lba, std::vector<uint8_t> data,
     auto ctx = std::make_shared<WriteCtx>();
     ctx->cb = std::move(cb);
     ctx->end_lba = lba + nsectors;
+    if (ledger_ != nullptr) {
+        ctx->cb = [this, nsectors, inner = std::move(ctx->cb)](IoResult r) {
+            if (r.status.is_ok())
+                ledger_->note_user_write(nsectors);
+            inner(std::move(r));
+        };
+    }
     // Foreground-latency feedback for the adaptive resync throttle.
     ctx->cb = [this, t0 = loop_->now(),
                inner = std::move(ctx->cb)](IoResult r) {
@@ -568,7 +588,7 @@ MdVolume::process_stripe_write(uint64_t stripe, uint64_t lo, uint64_t hi,
                    [one_done, off](Status st, std::vector<uint8_t> d) {
                        one_done(off, st, d);
                    },
-                   "md.rmw_read", ctx->req_id);
+                   "md.rmw_read", ctx->req_id, obs::Cause::kParity);
         // Mark as valid: the cache image will be refreshed on finish.
         for (uint64_t i = s; i < r; ++i)
             e->valid[i] = true;
@@ -623,6 +643,7 @@ MdVolume::write_chunks(uint64_t stripe, uint64_t lo, uint64_t hi,
             }
             req.trace_req = ctx->req_id;
             req.trace_stage = "md.chunk_write";
+            req.cause = obs::Cause::kUserData;
             ctx->pending++;
             dev_submit(dev, std::move(req),
                        [chunk_done, dev](IoResult r) {
@@ -652,6 +673,7 @@ MdVolume::write_chunks(uint64_t stripe, uint64_t lo, uint64_t hi,
         }
         req.trace_req = ctx->req_id;
         req.trace_stage = "md.parity";
+        req.cause = obs::Cause::kParity;
         ctx->pending++;
         dev_submit(pdev, std::move(req),
                    [chunk_done, pdev](IoResult r) {
@@ -678,7 +700,9 @@ MdVolume::flush(IoCallback cb)
         if (static_cast<int>(d) == failed_dev_ || devs_[d]->failed())
             continue;
         (*pending)++;
-        dev_submit(d, IoRequest::flush(),
+        IoRequest freq = IoRequest::flush();
+        freq.cause = obs::Cause::kUserData;
+        dev_submit(d, std::move(freq),
                    [this, done, d](IoResult r) mutable {
                        if (!r.status.is_ok() &&
                            escalate_dev_error(d, r.status)) {

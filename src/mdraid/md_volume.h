@@ -194,7 +194,8 @@ class MdVolume : public ZonedArray
                       std::shared_ptr<WriteCtx> ctx);
     void read_chunk(uint64_t stripe, uint32_t k, uint64_t lo, uint64_t hi,
                     std::function<void(Status, std::vector<uint8_t>)> cb,
-                    const char *trace_stage = nullptr, uint64_t treq = 0);
+                    const char *trace_stage = nullptr, uint64_t treq = 0,
+                    obs::Cause cause = obs::Cause::kUserData);
     void reconstruct_chunk(
         uint64_t stripe, int pos, uint64_t lo, uint64_t hi,
         std::function<void(Status, std::vector<uint8_t>)> cb);

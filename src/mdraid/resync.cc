@@ -120,6 +120,7 @@ MdVolume::resync_device(uint32_t dev,
                 req.nsectors = cfg_.chunk_sectors;
                 req.trace_req = job->trace_req;
                 req.trace_stage = "resync.write";
+                req.cause = obs::Cause::kResync;
                 if (store_data_)
                     req.data = std::move(acc->data);
                 dev_submit(
@@ -173,6 +174,7 @@ MdVolume::resync_device(uint32_t dev,
                                                  cfg_.chunk_sectors);
                 rreq.trace_req = job->trace_req;
                 rreq.trace_stage = "resync.read";
+                rreq.cause = obs::Cause::kResync;
                 dev_submit(d, std::move(rreq), one);
             }
             acc->issued_all = true;

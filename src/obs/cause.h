@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Byte-provenance cause taxonomy. Every device-level sub-I/O carries
+ * exactly one Cause tag naming the host-side activity that issued it;
+ * the IoLedger (obs/ledger.h) folds device traffic into per-cause
+ * buckets so write/read amplification can be attributed instead of
+ * merely measured. Standalone header (no deps) so the core device
+ * interface can include it without pulling in the obs layer.
+ *
+ * Propagation rules (enforced by the conservation audit, DESIGN.md
+ * §13): the issuing site sets the tag when it constructs the
+ * IoRequest; intermediaries (retry layer, fault wrappers, chains)
+ * preserve it; devices record it at the same points where DeviceStats
+ * counters move. kUntagged is never valid at a device — it exists so
+ * an unlabeled sub-I/O is loud, not silently misattributed.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace raizn::obs {
+
+enum class Cause : uint8_t {
+    kUntagged = 0, ///< bug marker: audit fails on any untagged I/O
+    kUserData, ///< user payload bytes (and their flushes/reads)
+    kParity, ///< parity/Q writes + reads issued to (re)compute them
+    kPpLog, ///< RAIZN partial-parity log appends (§5.1)
+    kWalMd, ///< WAL + metadata log + superblocks + mount/recovery I/O
+    kRelocation, ///< degraded-slot relocation writes and their reads
+    kRebuild, ///< rebuild of a replaced device
+    kResync, ///< mdraid post-crash parity resync
+    kScrub, ///< verification reads and scrub-initiated repairs
+    kGc, ///< garbage collection (env cleaning, metadata-zone GC)
+    kZoneMgmt, ///< zone reset/finish/open/close from the data path
+    kNumCauses,
+};
+
+inline constexpr uint32_t kNumCauses =
+    static_cast<uint32_t>(Cause::kNumCauses);
+
+constexpr const char *
+cause_name(Cause c)
+{
+    switch (c) {
+      case Cause::kUntagged: return "untagged";
+      case Cause::kUserData: return "user_data";
+      case Cause::kParity: return "parity";
+      case Cause::kPpLog: return "pp_log";
+      case Cause::kWalMd: return "wal_md";
+      case Cause::kRelocation: return "relocation";
+      case Cause::kRebuild: return "rebuild";
+      case Cause::kResync: return "resync";
+      case Cause::kScrub: return "scrub";
+      case Cause::kGc: return "gc";
+      case Cause::kZoneMgmt: return "zone_mgmt";
+      case Cause::kNumCauses: break;
+    }
+    return "?";
+}
+
+} // namespace raizn::obs

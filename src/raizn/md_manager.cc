@@ -24,6 +24,24 @@ MdManager::encode(const MdAppend &entry) const
     return encode_md_entry(entry.header, entry.inline_data, entry.payload);
 }
 
+obs::Cause
+MdManager::cause_of(MdZoneRole role, MdType type)
+{
+    if (role == MdZoneRole::kParityLog)
+        return obs::Cause::kPpLog;
+    switch (type) {
+      case MdType::kPartialParity:
+        return obs::Cause::kPpLog;
+      case MdType::kRelocatedSu:
+        return obs::Cause::kRelocation;
+      case MdType::kZoneRebuildLog:
+      case MdType::kRebuildCheckpoint:
+        return obs::Cause::kRebuild;
+      default:
+        return obs::Cause::kWalMd;
+    }
+}
+
 Status
 MdManager::format_device(uint32_t dev)
 {
@@ -31,8 +49,9 @@ MdManager::format_device(uint32_t dev)
     st = DevState{};
     st.wp.assign(layout_->md_zones(), 0);
     for (uint32_t i = 0; i < layout_->md_zones(); ++i) {
-        auto res = submit_sync(*loop_, *devs_[dev],
-                               IoRequest::zone_reset(md_zone_pba(i)));
+        IoRequest rst = IoRequest::zone_reset(md_zone_pba(i));
+        rst.cause = obs::Cause::kWalMd;
+        auto res = submit_sync(*loop_, *devs_[dev], std::move(rst));
         if (!res.status.is_ok())
             return res.status;
     }
@@ -44,10 +63,10 @@ MdManager::format_device(uint32_t dev)
         rec.inline_data = encode_zone_role(
             {static_cast<MdZoneRole>(role), st.next_epoch});
         auto bytes = encode(rec);
-        auto res = submit_sync(
-            *loop_, *devs_[dev],
-            IoRequest::append(md_zone_pba(role), std::move(bytes),
-                              /*fua=*/true));
+        IoRequest app = IoRequest::append(md_zone_pba(role),
+                                          std::move(bytes), /*fua=*/true);
+        app.cause = obs::Cause::kWalMd;
+        auto res = submit_sync(*loop_, *devs_[dev], std::move(app));
         if (!res.status.is_ok())
             return res.status;
         st.role_zone[role] = static_cast<int>(role);
@@ -93,15 +112,17 @@ MdManager::md_submit(uint32_t dev, IoRequest req, IoCallback cb)
 
 void
 MdManager::do_append(uint32_t dev, uint32_t zone_idx,
-                     std::vector<uint8_t> bytes, bool durable, StatusCb cb)
+                     std::vector<uint8_t> bytes, bool durable,
+                     obs::Cause cause, StatusCb cb)
 {
     DevState &st = dev_state_[dev];
     uint64_t sectors = bytes.size() / kSectorSize;
     st.wp[zone_idx] += sectors;
     st.sectors_written += sectors;
-    md_submit(dev,
-              IoRequest::append(md_zone_pba(zone_idx), std::move(bytes),
-                                durable),
+    IoRequest req = IoRequest::append(md_zone_pba(zone_idx),
+                                      std::move(bytes), durable);
+    req.cause = cause;
+    md_submit(dev, std::move(req),
               [cb = std::move(cb)](IoResult r) { cb(r.status); });
 }
 
@@ -147,8 +168,10 @@ MdManager::gc_switch(uint32_t dev, MdZoneRole role, StatusCb done)
         // 3. Checkpoint durable: recycle the old zone into the swap
         //    pool. (If power is lost before this reset, both zones are
         //    replayed at mount; duplicates are harmless.)
+        IoRequest rst = IoRequest::zone_reset(md_zone_pba(old_zone_u));
+        rst.cause = obs::Cause::kGc;
         md_submit(
-            dev, IoRequest::zone_reset(md_zone_pba(old_zone_u)),
+            dev, std::move(rst),
             [this, dev, old_zone_u, done](IoResult r) {
                 if (r.status.is_ok()) {
                     dev_state_[dev].wp[old_zone_u] = 0;
@@ -158,14 +181,17 @@ MdManager::gc_switch(uint32_t dev, MdZoneRole role, StatusCb done)
             });
     };
 
-    do_append(dev, new_zone, encode(rec), /*durable=*/true, on_write);
+    // Role record and checkpoint rewrites are metadata-GC traffic:
+    // bytes moved to recycle a zone, not new logical metadata.
+    do_append(dev, new_zone, encode(rec), /*durable=*/true,
+              obs::Cause::kGc, on_write);
     for (auto &entry : checkpoint) {
         entry.header.checkpoint = true;
         uint64_t sectors = 1 + entry.payload.size() / kSectorSize;
         if (st.wp[new_zone] + sectors > md_zone_cap())
             RAIZN_PANIC("metadata checkpoint exceeds zone capacity");
         do_append(dev, new_zone, encode(entry), /*durable=*/true,
-                  on_write);
+                  obs::Cause::kGc, on_write);
     }
 }
 
@@ -203,7 +229,7 @@ MdManager::append(uint32_t dev, MdZoneRole role, MdAppend entry,
         }
     }
     do_append(dev, static_cast<uint32_t>(zone_idx), std::move(bytes),
-              durable, std::move(cb));
+              durable, cause_of(role, entry.header.type), std::move(cb));
 }
 
 Result<uint32_t>
@@ -254,10 +280,10 @@ MdManager::scan()
             ZoneImage img;
             img.idx = i;
             if (written > 0) {
-                auto res = submit_sync(
-                    *loop_, *devs_[d],
-                    IoRequest::read(md_zone_pba(i),
-                                    static_cast<uint32_t>(written)));
+                IoRequest rd = IoRequest::read(
+                    md_zone_pba(i), static_cast<uint32_t>(written));
+                rd.cause = obs::Cause::kWalMd;
+                auto res = submit_sync(*loop_, *devs_[d], std::move(rd));
                 if (!res.status.is_ok())
                     return res.status;
                 img.entries = scan_md_zone(res.data, md_zone_pba(i));
@@ -296,9 +322,10 @@ MdManager::scan()
             if (!active && img.has_role) {
                 // Stale zone from an interrupted GC: replay, then reset
                 // it back into the swap pool.
-                auto res = submit_sync(
-                    *loop_, *devs_[d],
-                    IoRequest::zone_reset(md_zone_pba(img.idx)));
+                IoRequest rst =
+                    IoRequest::zone_reset(md_zone_pba(img.idx));
+                rst.cause = obs::Cause::kWalMd;
+                auto res = submit_sync(*loop_, *devs_[d], std::move(rst));
                 if (!res.status.is_ok())
                     return res.status;
                 st.wp[img.idx] = 0;

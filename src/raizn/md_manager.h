@@ -110,6 +110,15 @@ class MdManager
     void return_swap(uint32_t dev, uint32_t idx);
 
     uint64_t gc_runs() const { return gc_runs_; }
+
+    /**
+     * Byte-provenance of one metadata append, from its log role and
+     * entry type: partial parity → pp_log, relocated stripe units →
+     * relocation, rebuild WAL/checkpoints → rebuild, everything else
+     * (superblock, generation counters, reset WAL, role records) →
+     * wal_md. Central so every append site agrees on the taxonomy.
+     */
+    static obs::Cause cause_of(MdZoneRole role, MdType type);
     /// Sectors of metadata appended since construction (per device).
     uint64_t md_sectors_written(uint32_t dev) const
     {
@@ -139,7 +148,8 @@ class MdManager
     }
 
     void do_append(uint32_t dev, uint32_t zone_idx,
-                   std::vector<uint8_t> bytes, bool durable, StatusCb cb);
+                   std::vector<uint8_t> bytes, bool durable,
+                   obs::Cause cause, StatusCb cb);
     /// Switches (dev, role) to a fresh swap zone and checkpoints.
     void gc_switch(uint32_t dev, MdZoneRole role, StatusCb done);
     std::vector<uint8_t> encode(const MdAppend &entry) const;

@@ -314,7 +314,9 @@ RaiznVolume::rebuild_device_internal(uint32_t dev, bool resume,
             if (zi.is_ok() && zi.value().written() > 0) {
                 uint64_t phys =
                     static_cast<uint64_t>(z) * layout_->phys_zone_size();
-                auto r = dev_sync(dev, IoRequest::zone_reset(phys));
+                IoRequest rst = IoRequest::zone_reset(phys);
+                rst.cause = obs::Cause::kRebuild;
+                auto r = dev_sync(dev, std::move(rst));
                 if (!r.status.is_ok()) {
                     Status st = r.status;
                     loop_->schedule_after(
@@ -571,6 +573,7 @@ RaiznVolume::rebuild_device_internal(uint32_t dev, bool resume,
                 continue;
             IoRequest req;
             req.op = IoOp::kWrite;
+            req.cause = obs::Cause::kRebuild;
             req.slba = layout_->slot_pba(job->zone, s);
             req.nsectors = static_cast<uint32_t>(len);
             // The zone's final write is FUA: under the sequential zone

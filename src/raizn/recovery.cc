@@ -73,11 +73,12 @@ RaiznVolume::mount(EventLoop *loop, std::vector<BlockDevice *> devs)
             auto zi = dev->zone_info(z);
             if (!zi.is_ok() || zi.value().written() == 0)
                 continue;
-            auto img = submit_sync(
-                *loop, *dev,
+            IoRequest rd =
                 IoRequest::read(zi.value().start,
                                 static_cast<uint32_t>(
-                                    zi.value().written())));
+                                    zi.value().written()));
+            rd.cause = obs::Cause::kWalMd;
+            auto img = submit_sync(*loop, *dev, std::move(rd));
             if (!img.status.is_ok())
                 continue;
             for (const MdEntry &e :
@@ -454,7 +455,9 @@ RaiznVolume::complete_partial_reset(uint32_t zone)
     for (uint32_t d = 0; d < devs_.size(); ++d) {
         if (dev_down(d))
             continue;
-        auto res = dev_sync(d, IoRequest::zone_reset(phys_start));
+        IoRequest rst = IoRequest::zone_reset(phys_start);
+        rst.cause = obs::Cause::kWalMd;
+        auto res = dev_sync(d, std::move(rst));
         if (!res.status.is_ok())
             return res.status;
     }
@@ -798,13 +801,13 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                         // parity) with the surviving data units.
                         std::vector<uint8_t> acc(content.size(), 0);
                         if (parity_present) {
-                            auto r = dev_sync(
-                                pdev,
-                                IoRequest::read(
-                                    static_cast<uint64_t>(zone) *
-                                            layout_->phys_zone_size() +
-                                        slot + p.lo,
-                                    static_cast<uint32_t>(p.hi - p.lo)));
+                            IoRequest prd = IoRequest::read(
+                                static_cast<uint64_t>(zone) *
+                                        layout_->phys_zone_size() +
+                                    slot + p.lo,
+                                static_cast<uint32_t>(p.hi - p.lo));
+                            prd.cause = obs::Cause::kWalMd;
+                            auto r = dev_sync(pdev, std::move(prd));
                             if (!r.status.is_ok())
                                 return r.status;
                             xor_bytes(acc.data(), r.data.data(),
@@ -839,13 +842,13 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                                 std::min(p.hi, unit_avail);
                             if (k_hi <= k_lo)
                                 continue;
-                            auto r = dev_sync(
-                                kd, IoRequest::read(
-                                        static_cast<uint64_t>(zone) *
-                                                layout_->phys_zone_size() +
-                                            slot + k_lo,
-                                        static_cast<uint32_t>(k_hi -
-                                                              k_lo)));
+                            IoRequest krd = IoRequest::read(
+                                static_cast<uint64_t>(zone) *
+                                        layout_->phys_zone_size() +
+                                    slot + k_lo,
+                                static_cast<uint32_t>(k_hi - k_lo));
+                            krd.cause = obs::Cause::kWalMd;
+                            auto r = dev_sync(kd, std::move(krd));
                             if (!r.status.is_ok())
                                 return r.status;
                             xor_bytes(acc.data(), r.data.data(),
@@ -887,13 +890,13 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                             }
                             if (k_hi <= k_lo)
                                 continue;
-                            auto r = dev_sync(
-                                kd, IoRequest::read(
-                                        static_cast<uint64_t>(zone) *
-                                                layout_->phys_zone_size() +
-                                            slot + k_lo,
-                                        static_cast<uint32_t>(k_hi -
-                                                              k_lo)));
+                            IoRequest krd = IoRequest::read(
+                                static_cast<uint64_t>(zone) *
+                                        layout_->phys_zone_size() +
+                                    slot + k_lo,
+                                static_cast<uint32_t>(k_hi - k_lo));
+                            krd.cause = obs::Cause::kWalMd;
+                            auto r = dev_sync(kd, std::move(krd));
                             if (!r.status.is_ok())
                                 return r.status;
                             xor_bytes(acc.data() +
@@ -903,8 +906,9 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                         content = std::move(acc);
                     }
                 }
-                auto w = dev_sync(
-                    p.dev, IoRequest::write(pba, std::move(content)));
+                IoRequest pwr = IoRequest::write(pba, std::move(content));
+                pwr.cause = obs::Cause::kWalMd;
+                auto w = dev_sync(p.dev, std::move(pwr));
                 if (!w.status.is_ok())
                     return w.status;
                 written[p.dev] = slot + p.hi;
@@ -971,6 +975,7 @@ RaiznVolume::repair_or_remap(uint32_t zone, std::vector<uint64_t> written)
                     }
                     IoRequest req;
                     req.op = IoOp::kWrite;
+                    req.cause = obs::Cause::kWalMd;
                     req.slba = pba;
                     req.nsectors =
                         static_cast<uint32_t>(padded - written[d]);
@@ -1096,9 +1101,10 @@ RaiznVolume::rebuild_physical_zone(uint32_t dev, uint32_t zone,
         // stripe units folded back to their arithmetic position.
         std::vector<uint8_t> image;
         if (store_data_) {
-            auto r = dev_sync(dev, IoRequest::read(
-                                       phys_start,
-                                       static_cast<uint32_t>(valid)));
+            IoRequest rd = IoRequest::read(
+                phys_start, static_cast<uint32_t>(valid));
+            rd.cause = obs::Cause::kRelocation;
+            auto r = dev_sync(dev, std::move(rd));
             if (!r.status.is_ok())
                 return r.status;
             image = std::move(r.data);
@@ -1129,6 +1135,7 @@ RaiznVolume::rebuild_physical_zone(uint32_t dev, uint32_t zone,
         if (valid > 0) {
             IoRequest req;
             req.op = IoOp::kWrite;
+            req.cause = obs::Cause::kRelocation;
             req.slba = swap_pba;
             req.nsectors = static_cast<uint32_t>(valid);
             req.fua = true;
@@ -1144,18 +1151,22 @@ RaiznVolume::rebuild_physical_zone(uint32_t dev, uint32_t zone,
     }
 
     // Reset the data zone and copy the image back.
-    auto r = dev_sync(dev, IoRequest::zone_reset(phys_start));
+    IoRequest zrst = IoRequest::zone_reset(phys_start);
+    zrst.cause = obs::Cause::kRelocation;
+    auto r = dev_sync(dev, std::move(zrst));
     if (!r.status.is_ok())
         return r.status;
     if (image_sectors > 0) {
         uint64_t swap_pba = layout_->md_zone_start(swap_idx);
-        auto img = dev_sync(dev, IoRequest::read(
-                                     swap_pba,
-                                     static_cast<uint32_t>(image_sectors)));
+        IoRequest ird = IoRequest::read(
+            swap_pba, static_cast<uint32_t>(image_sectors));
+        ird.cause = obs::Cause::kRelocation;
+        auto img = dev_sync(dev, std::move(ird));
         if (!img.status.is_ok())
             return img.status;
         IoRequest req;
         req.op = IoOp::kWrite;
+        req.cause = obs::Cause::kRelocation;
         req.slba = phys_start;
         req.nsectors = static_cast<uint32_t>(image_sectors);
         req.fua = true;
@@ -1169,8 +1180,10 @@ RaiznVolume::rebuild_physical_zone(uint32_t dev, uint32_t zone,
         return st;
 
     // Reset the swap zone and hand it back.
-    r = dev_sync(dev, IoRequest::zone_reset(
-                          layout_->md_zone_start(swap_idx)));
+    IoRequest srst =
+        IoRequest::zone_reset(layout_->md_zone_start(swap_idx));
+    srst.cause = obs::Cause::kRelocation;
+    r = dev_sync(dev, std::move(srst));
     if (!r.status.is_ok())
         return r.status;
     md_->return_swap(dev, swap_idx);

@@ -259,6 +259,7 @@ RaiznVolume::scrub_stripe(uint32_t zone, uint64_t stripe, ScrubReport *rep,
         IoRequest rreq = IoRequest::read(slot, su);
         rreq.trace_req = ctx->trace_req;
         rreq.trace_stage = "scrub.read";
+        rreq.cause = obs::Cause::kScrub;
         dev_submit(dev, std::move(rreq),
                    [one_done, into](IoResult r) {
                        one_done(into, std::move(r));
@@ -269,6 +270,7 @@ RaiznVolume::scrub_stripe(uint32_t zone, uint64_t stripe, ScrubReport *rep,
     IoRequest preq = IoRequest::read(slot, su);
     preq.trace_req = ctx->trace_req;
     preq.trace_stage = "scrub.read";
+    preq.cause = obs::Cause::kScrub;
     dev_submit(pdev, std::move(preq),
                [one_done, ctx](IoResult r) {
                    one_done(&ctx->parity, std::move(r));

@@ -7,6 +7,7 @@
 
 #include "common/crc32.h"
 #include "common/logging.h"
+#include "obs/ledger.h"
 #include "obs/metrics.h"
 #include "obs/prof/prof.h"
 #include "obs/timeline.h"
@@ -430,6 +431,7 @@ RaiznVolume::process_write(uint64_t lba, std::vector<uint8_t> data,
     ctx->flags = flags;
     ctx->zone = zone;
     ctx->end_lba = lba + nsectors;
+    ctx->nsectors = nsectors;
     ctx->cb = std::move(cb);
     ctx->start_tick = loop_->now();
     if (trace_ != nullptr) {
@@ -535,6 +537,7 @@ RaiznVolume::submit_data_subio(uint32_t dev, uint32_t zone, uint64_t pba,
     req.data = std::move(data);
     req.trace_req = ctx->req_id;
     req.trace_stage = "write.data";
+    req.cause = ctx->flags.origin;
     dev_submit(dev, std::move(req),
                [this, ctx, dev](IoResult r) {
                    if (!r.status.is_ok() &&
@@ -608,6 +611,7 @@ RaiznVolume::submit_parity_subio(uint32_t zone, uint64_t stripe,
     req.data = std::move(parity);
     req.trace_req = ctx->req_id;
     req.trace_stage = "write.parity";
+    req.cause = obs::Cause::kParity;
     dev_submit(dev, std::move(req),
                [this, ctx, dev](IoResult r) {
                    if (!r.status.is_ok() &&
@@ -754,6 +758,9 @@ RaiznVolume::finish_write(std::shared_ptr<WriteCtx> ctx)
         uint64_t elapsed = loop_->now() - ctx->start_tick;
         if (write_lat_ != nullptr)
             write_lat_->record(elapsed);
+        if (ledger_ != nullptr && ctx->status.is_ok() &&
+            ctx->flags.origin == obs::Cause::kUserData)
+            ledger_->note_user_write(ctx->nsectors);
         // Foreground write latency EWMA: the adaptive rebuild throttle
         // compares this against the pre-rebuild baseline.
         fg_write_ewma_ns_ = fg_write_ewma_ns_ == 0.0
@@ -805,6 +812,7 @@ RaiznVolume::start_fua_flush_phase(std::shared_ptr<WriteCtx> ctx)
         IoRequest freq = IoRequest::flush();
         freq.trace_req = ctx->req_id;
         freq.trace_stage = "write.fua_flush";
+        freq.cause = ctx->flags.origin;
         dev_submit(d, std::move(freq),
                    [this, ctx, d](IoResult r) {
                        if (!r.status.is_ok() &&
@@ -850,7 +858,9 @@ RaiznVolume::flush(IoCallback cb)
         if (static_cast<int>(d) == failed_dev_ || devs_[d]->failed())
             continue;
         (*pending)++;
-        dev_submit(d, IoRequest::flush(),
+        IoRequest freq = IoRequest::flush();
+        freq.cause = obs::Cause::kUserData;
+        dev_submit(d, std::move(freq),
                    [this, done, d](IoResult r) mutable {
                        if (!r.status.is_ok() &&
                            escalate_dev_error(d, r.status)) {
@@ -958,7 +968,9 @@ RaiznVolume::reset_zone(uint32_t zone, IoCallback cb)
             if (static_cast<int>(d) == failed_dev_ || devs_[d]->failed())
                 continue;
             (*pending)++;
-            dev_submit(d, IoRequest::zone_reset(phys_zone_start),
+            IoRequest rst = IoRequest::zone_reset(phys_zone_start);
+            rst.cause = obs::Cause::kZoneMgmt;
+            dev_submit(d, std::move(rst),
                        [this, on_reset, d](IoResult r) mutable {
                            if (!r.status.is_ok() &&
                                escalate_dev_error(d, r.status)) {
@@ -1091,6 +1103,7 @@ RaiznVolume::finish_zone(uint32_t zone, IoCallback cb)
             req.slba = slot;
             req.nsectors = cfg_.su_sectors;
             req.data = std::move(parity);
+            req.cause = obs::Cause::kParity;
             dev_submit(pdev, std::move(req),
                        [this, done, pdev](IoResult r) mutable {
                            if (!r.status.is_ok() &&
@@ -1107,7 +1120,9 @@ RaiznVolume::finish_zone(uint32_t zone, IoCallback cb)
         if (static_cast<int>(d) == failed_dev_ || devs_[d]->failed())
             continue;
         (*pending)++;
-        dev_submit(d, IoRequest::zone_finish(phys_zone_start),
+        IoRequest fin = IoRequest::zone_finish(phys_zone_start);
+        fin.cause = obs::Cause::kZoneMgmt;
+        dev_submit(d, std::move(fin),
                    [this, done, d](IoResult r) mutable {
                        if (!r.status.is_ok() &&
                            escalate_dev_error(d, r.status)) {
@@ -1148,6 +1163,13 @@ RaiznVolume::read(uint64_t lba, uint32_t nsectors, IoCallback cb)
     }
     stats_.logical_reads++;
     stats_.sectors_read += nsectors;
+    if (ledger_ != nullptr) {
+        cb = [this, nsectors, inner = std::move(cb)](IoResult r) {
+            if (r.status.is_ok())
+                ledger_->note_user_read(nsectors);
+            inner(std::move(r));
+        };
+    }
     uint64_t treq = 0;
     if (trace_ != nullptr || read_lat_ != nullptr) {
         uint64_t token = 0;
@@ -1216,6 +1238,7 @@ RaiznVolume::read_fast(uint64_t lba, uint32_t nsectors, uint64_t treq,
         IoRequest rreq = IoRequest::read(ext.pba, ext.nsectors);
         rreq.trace_req = treq;
         rreq.trace_stage = "read.data";
+        rreq.cause = obs::Cause::kUserData;
         dev_submit(
             ext.dev, std::move(rreq),
             [this, ctx, ext, complete_one](IoResult r) {
@@ -1346,6 +1369,7 @@ RaiznVolume::read_slow(uint64_t lba, uint32_t nsectors, uint64_t treq,
                         IoRequest::read(rel->md_pba + off_in_rel, run_len);
                     rreq.trace_req = treq;
                     rreq.trace_stage = "read.reloc";
+                    rreq.cause = obs::Cause::kRelocation;
                     dev_submit(
                         rel->dev, std::move(rreq),
                         [this, complete_one, at,
@@ -1378,6 +1402,7 @@ RaiznVolume::read_slow(uint64_t lba, uint32_t nsectors, uint64_t treq,
                 IoRequest rreq = IoRequest::read(sub.pba, sub.nsectors);
                 rreq.trace_req = treq;
                 rreq.trace_stage = "read.data";
+                rreq.cause = obs::Cause::kUserData;
                 dev_submit(
                     sub.dev, std::move(rreq),
                     [this, complete_one, at, sub](IoResult r) {
@@ -1567,6 +1592,7 @@ RaiznVolume::reconstruct_stripe_unit(
             uint64_t pba = layout_->slot_pba(zone, stripe) + lo;
             IoRequest rreq = IoRequest::read(pba, len);
             rreq.trace_stage = "read.reconstruct";
+            rreq.cause = obs::Cause::kParity;
             dev_submit(dev, std::move(rreq),
                        [this, one_done, dev](IoResult r) {
                            if (!r.status.is_ok())
@@ -1602,9 +1628,11 @@ RaiznVolume::reconstruct_stripe_unit(
             } else if (static_cast<int>(pdev) != failed_dev_ &&
                        !devs_[pdev]->failed()) {
                 uint64_t pba = layout_->slot_pba(zone, stripe) + lo;
-                dev_submit(pdev,
-                           IoRequest::read(pba,
-                                           static_cast<uint32_t>(hi - lo)),
+                IoRequest preq =
+                    IoRequest::read(pba, static_cast<uint32_t>(hi - lo));
+                preq.trace_stage = "read.reconstruct";
+                preq.cause = obs::Cause::kParity;
+                dev_submit(pdev, std::move(preq),
                            [this, one_done, pdev](IoResult r) {
                                if (!r.status.is_ok())
                                    escalate_dev_error(pdev, r.status);

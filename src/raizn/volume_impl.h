@@ -40,6 +40,7 @@ struct RaiznVolume::WriteCtx {
     WriteFlags flags;
     uint32_t zone = 0;
     uint64_t end_lba = 0; ///< logical end of the write
+    uint32_t nsectors = 0; ///< logical length (acked-user-byte ledger)
     IoCallback cb;
     bool in_flush_phase = false;
     // Trace context (zero when tracing is detached).

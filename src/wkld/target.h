@@ -143,18 +143,23 @@ class DeviceTarget : public IoTarget
     void
     read(uint64_t lba, uint32_t n, IoCallback cb) override
     {
-        dev_->submit(IoRequest::read(to_pba(lba), n), std::move(cb));
+        IoRequest req = IoRequest::read(to_pba(lba), n);
+        req.cause = obs::Cause::kUserData;
+        dev_->submit(std::move(req), std::move(cb));
     }
     void
     write(uint64_t lba, uint32_t n, IoCallback cb) override
     {
-        dev_->submit(IoRequest::write_len(to_pba(lba), n),
-                     std::move(cb));
+        IoRequest req = IoRequest::write_len(to_pba(lba), n);
+        req.cause = obs::Cause::kUserData;
+        dev_->submit(std::move(req), std::move(cb));
     }
     void
     flush(IoCallback cb) override
     {
-        dev_->submit(IoRequest::flush(), std::move(cb));
+        IoRequest req = IoRequest::flush();
+        req.cause = obs::Cause::kUserData;
+        dev_->submit(std::move(req), std::move(cb));
     }
     bool zoned() const override { return dev_->geometry().zoned; }
     void
@@ -162,8 +167,9 @@ class DeviceTarget : public IoTarget
     {
         const auto &g = dev_->geometry();
         uint64_t zone = to_pba(lba) / g.zone_size;
-        dev_->submit(IoRequest::zone_reset(zone * g.zone_size),
-                     std::move(cb));
+        IoRequest req = IoRequest::zone_reset(zone * g.zone_size);
+        req.cause = obs::Cause::kZoneMgmt;
+        dev_->submit(std::move(req), std::move(cb));
     }
 
   private:

@@ -17,9 +17,14 @@
 
 #include "common/status.h"
 #include "common/units.h"
+#include "obs/cause.h"
 #include "zns/zone.h"
 
 namespace raizn {
+
+namespace obs {
+class IoLedger;
+} // namespace obs
 
 class EventLoop;
 
@@ -66,6 +71,11 @@ struct IoRequest {
     // observational — devices never read these.
     uint64_t trace_req = 0;
     const char *trace_stage = nullptr;
+    // Byte-provenance tag (obs/cause.h): the host-side activity this
+    // command serves. Issuing sites must set it; devices record it
+    // into the IoLedger alongside their stats counters, and the
+    // conservation audit fails on any command still kUntagged.
+    obs::Cause cause = obs::Cause::kUntagged;
 
     static IoRequest
     read(uint64_t slba, uint32_t nsectors)
@@ -213,6 +223,24 @@ class BlockDevice
 
     /// Simulates hot-removal: all inflight and future IO errors out.
     virtual void fail() = 0;
+
+    /**
+     * Installs the byte-provenance ledger this device reports into, as
+     * array-member slot `dev_index`. Devices call
+     * ledger->record(dev_index, ...) at exactly the points their
+     * DeviceStats counters move. Virtual so wrappers
+     * (FaultInjectingDevice) can forward to the wrapped device.
+     */
+    virtual void
+    set_ledger(obs::IoLedger *ledger, uint32_t dev_index)
+    {
+        ledger_ = ledger;
+        ledger_dev_ = dev_index;
+    }
+
+  protected:
+    obs::IoLedger *ledger_ = nullptr;
+    uint32_t ledger_dev_ = 0;
 };
 
 /**

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/ledger.h"
 #include "sim/event_loop.h"
 
 namespace raizn {
@@ -150,6 +151,9 @@ ConvDevice::submit(IoRequest req, IoCallback cb)
 
     if (!result.status.is_ok())
         stats_.errors++;
+    else if (ledger_ != nullptr)
+        ledger_->record(ledger_dev_, req.op, req.cause, req.slba,
+                        req.nsectors);
     complete(std::max(when, loop_->now() + 1), std::move(cb),
              std::move(result));
 }
@@ -185,6 +189,10 @@ ConvDevice::replace()
     fcfg.gc_high_blocks = config_.gc_high_blocks;
     ftl_ = std::make_unique<Ftl>(fcfg);
     stats_ = DeviceStats{};
+    // Counters restarted from zero on a factory-fresh device: move the
+    // ledger's audit baseline along or every delta check would trip.
+    if (ledger_ != nullptr)
+        ledger_->rebind_device(ledger_dev_, this);
 }
 
 } // namespace raizn

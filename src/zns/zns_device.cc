@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "common/logging.h"
+#include "obs/ledger.h"
 #include "sim/event_loop.h"
 
 namespace raizn {
@@ -450,10 +451,13 @@ ZnsDevice::submit(IoRequest req, IoCallback cb)
       }
     }
 
-    if (!result.status.is_ok())
+    if (!result.status.is_ok()) {
         stats_.errors++;
-    if (!result.status.is_ok())
         apply = nullptr; // failed commands have no effects
+    } else if (ledger_ != nullptr) {
+        ledger_->record(ledger_dev_, req.op, req.cause, req.slba,
+                        req.nsectors);
+    }
     tev.lba = result.lba;
     tev.ok = result.status.is_ok();
     complete(std::max(when, loop_->now() + 1), std::move(cb),
@@ -577,6 +581,10 @@ ZnsDevice::replace()
         z.last_use = 0;
     }
     stats_ = DeviceStats{};
+    // Counters restarted from zero on a factory-fresh device: move the
+    // ledger's audit baseline along or every delta check would trip.
+    if (ledger_ != nullptr)
+        ledger_->rebind_device(ledger_dev_, this);
 }
 
 } // namespace raizn

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Unit tests for the byte-provenance ledger (obs/ledger.h): the
+ * WAF/RAF amplification math and its per-cause decomposition, the
+ * breakdown/heatmap exports, the conservation audit's three violation
+ * classes (untagged submit, unattributed device bytes, over-attributed
+ * ledger bytes), and rebind semantics across a device swap. Cells are
+ * driven both directly via record() (math tests) and through a real
+ * ZnsDevice with set_ledger installed (audit tests), so the structural
+ * tie between DeviceStats and ledger cells is covered from both ends.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/ledger.h"
+#include "obs/metrics.h"
+#include "sim/event_loop.h"
+#include "zns/zns_device.h"
+
+namespace raizn {
+namespace {
+
+using obs::Cause;
+using obs::IoLedger;
+using obs::LedgerAudit;
+
+ZnsDeviceConfig
+small_config(const std::string &name)
+{
+    ZnsDeviceConfig cfg;
+    cfg.nzones = 4;
+    cfg.zone_size = 64;
+    cfg.zone_capacity = 64;
+    cfg.atomic_write_sectors = 4;
+    cfg.data_mode = DataMode::kStore;
+    cfg.name = name;
+    return cfg;
+}
+
+/// Ledger over one idle ZnsDevice: record() cells move, device
+/// counters do not (the audit tests cover the coupled path).
+struct LedgerFixture {
+    EventLoop loop;
+    ZnsDevice dev;
+    IoLedger ledger;
+
+    LedgerFixture() : dev(&loop, small_config("led0"))
+    {
+        ledger.attach_device(0, &dev);
+    }
+};
+
+TEST(LedgerMath, WafDecomposesByCause)
+{
+    LedgerFixture f;
+    // 100 user sectors acked; the device absorbed 100 user_data + 25
+    // parity + 25 pp_log sectors => WAF 1.5, split 1.0/0.25/0.25.
+    f.ledger.record(0, IoOp::kWrite, Cause::kUserData, 0, 100);
+    f.ledger.record(0, IoOp::kWrite, Cause::kParity, 64, 25);
+    f.ledger.record(0, IoOp::kAppend, Cause::kPpLog, 128, 25);
+    f.ledger.note_user_write(100);
+
+    EXPECT_DOUBLE_EQ(f.ledger.waf(), 1.5);
+    EXPECT_DOUBLE_EQ(f.ledger.waf_component(Cause::kUserData), 1.0);
+    EXPECT_DOUBLE_EQ(f.ledger.waf_component(Cause::kParity), 0.25);
+    EXPECT_DOUBLE_EQ(f.ledger.waf_component(Cause::kPpLog), 0.25);
+    EXPECT_DOUBLE_EQ(f.ledger.waf_component(Cause::kRebuild), 0.0);
+    EXPECT_EQ(f.ledger.device_write_bytes(), 150u * kSectorSize);
+    EXPECT_EQ(f.ledger.user_write_bytes(), 100u * kSectorSize);
+}
+
+TEST(LedgerMath, RafCountsDeviceReadsOverUserReads)
+{
+    LedgerFixture f;
+    // 25 user sectors acked, 50 device sectors touched (degraded
+    // reconstruction reads whole stripes) => RAF 2.0.
+    f.ledger.record(0, IoOp::kRead, Cause::kUserData, 0, 50);
+    f.ledger.note_user_read(25);
+
+    EXPECT_DOUBLE_EQ(f.ledger.raf(), 2.0);
+    EXPECT_EQ(f.ledger.device_read_bytes(), 50u * kSectorSize);
+}
+
+TEST(LedgerMath, ZeroDenominatorsGiveZeroNotNan)
+{
+    LedgerFixture f;
+    f.ledger.record(0, IoOp::kWrite, Cause::kGc, 0, 8);
+    EXPECT_DOUBLE_EQ(f.ledger.waf(), 0.0);
+    EXPECT_DOUBLE_EQ(f.ledger.raf(), 0.0);
+    EXPECT_DOUBLE_EQ(f.ledger.waf_component(Cause::kGc), 0.0);
+}
+
+TEST(LedgerExport, BreakdownCsvListsEachActiveCause)
+{
+    LedgerFixture f;
+    f.ledger.record(0, IoOp::kWrite, Cause::kUserData, 0, 40);
+    f.ledger.record(0, IoOp::kWrite, Cause::kParity, 64, 10);
+    f.ledger.note_user_write(40);
+
+    std::string csv = f.ledger.breakdown_csv();
+    EXPECT_NE(csv.find("cause,write_bytes,read_bytes,ops,waf_component"),
+              std::string::npos);
+    EXPECT_NE(csv.find("user_data,"), std::string::npos);
+    EXPECT_NE(csv.find("parity,"), std::string::npos);
+    // Causes with no traffic stay out of the report.
+    EXPECT_EQ(csv.find("rebuild,"), std::string::npos);
+
+    std::string table = f.ledger.breakdown_table();
+    EXPECT_NE(table.find("user_data"), std::string::npos);
+    EXPECT_NE(table.find("parity"), std::string::npos);
+}
+
+TEST(LedgerExport, HeatmapPinsCellsToDeviceZoneAndCause)
+{
+    LedgerFixture f;
+    // zone_size=64: slba 0 -> zone 0, slba 70 -> zone 1.
+    f.ledger.record(0, IoOp::kWrite, Cause::kUserData, 0, 16);
+    f.ledger.record(0, IoOp::kWrite, Cause::kParity, 70, 4);
+    f.ledger.record(0, IoOp::kZoneReset, Cause::kZoneMgmt, 70, 0);
+
+    std::string csv = f.ledger.heatmap_csv();
+    EXPECT_NE(csv.find("dev,zone,cause,write_sectors,read_sectors,"
+                       "write_ops,read_ops,flushes,zone_resets,"
+                       "zone_mgmt_ops"),
+              std::string::npos);
+    EXPECT_NE(csv.find("0,0,user_data,16,0,1,0,0,0,0"),
+              std::string::npos);
+    EXPECT_NE(csv.find("0,1,parity,4,0,1,0,0,0,0"), std::string::npos);
+    EXPECT_NE(csv.find("0,1,zone_mgmt,0,0,0,0,0,1,0"),
+              std::string::npos);
+    // Only non-empty cells are emitted: 3 data rows + header.
+    size_t rows = 0;
+    for (char c : csv)
+        rows += c == '\n';
+    EXPECT_EQ(rows, 4u);
+}
+
+TEST(LedgerAuditTest, CleanWhenDeviceRecordsThroughLedger)
+{
+    EventLoop loop;
+    ZnsDevice dev(&loop, small_config("led0"));
+    IoLedger ledger;
+    ledger.attach_device(0, &dev);
+    dev.set_ledger(&ledger, 0);
+
+    IoRequest w = IoRequest::write(0, pattern_data(8, 1));
+    w.cause = Cause::kUserData;
+    ASSERT_TRUE(submit_sync(loop, dev, std::move(w)).status.is_ok());
+    IoRequest fl = IoRequest::flush();
+    fl.cause = Cause::kWalMd;
+    ASSERT_TRUE(submit_sync(loop, dev, std::move(fl)).status.is_ok());
+
+    LedgerAudit audit = ledger.audit();
+    EXPECT_TRUE(audit.ok()) << audit.summary();
+    EXPECT_EQ(ledger.cause_write_bytes(Cause::kUserData),
+              8u * kSectorSize);
+}
+
+TEST(LedgerAuditTest, FlagsDeviceBytesTheLedgerNeverSaw)
+{
+    EventLoop loop;
+    ZnsDevice dev(&loop, small_config("led0"));
+    IoLedger ledger;
+    ledger.attach_device(0, &dev);
+    // No set_ledger: device counters move, cells stay empty.
+    ASSERT_TRUE(
+        submit_sync(loop, dev, IoRequest::write(0, pattern_data(8, 1)))
+            .status.is_ok());
+
+    LedgerAudit audit = ledger.audit();
+    EXPECT_FALSE(audit.ok());
+    EXPECT_NE(audit.summary().find("dev0"), std::string::npos);
+}
+
+TEST(LedgerAuditTest, FlagsOverAttributedBytes)
+{
+    LedgerFixture f;
+    // Ledger claims 8 written sectors the idle device never counted.
+    f.ledger.record(0, IoOp::kWrite, Cause::kUserData, 0, 8);
+    EXPECT_FALSE(f.ledger.audit().ok());
+}
+
+TEST(LedgerAuditTest, FlagsUntaggedSubmitByStage)
+{
+    LedgerFixture f;
+    f.ledger.note_untagged_submit("raizn.write.chunk");
+    LedgerAudit audit = f.ledger.audit();
+    EXPECT_FALSE(audit.ok());
+    EXPECT_NE(audit.summary().find("raizn.write.chunk"),
+              std::string::npos);
+    EXPECT_EQ(f.ledger.untagged_ops(), 1u);
+}
+
+TEST(LedgerAuditTest, RebindKeepsCellsAndRebaselines)
+{
+    EventLoop loop;
+    ZnsDevice dev(&loop, small_config("led0"));
+    IoLedger ledger;
+    ledger.attach_device(0, &dev);
+    dev.set_ledger(&ledger, 0);
+    IoRequest w = IoRequest::write(0, pattern_data(8, 1));
+    w.cause = Cause::kUserData;
+    ASSERT_TRUE(submit_sync(loop, dev, std::move(w)).status.is_ok());
+    ASSERT_TRUE(ledger.audit().ok());
+
+    // Factory-fresh swap: counters restart at zero; without the
+    // rebind the audit would see a negative device delta.
+    ZnsDevice fresh(&loop, small_config("led0b"));
+    ledger.rebind_device(0, &fresh);
+    fresh.set_ledger(&ledger, 0);
+    LedgerAudit audit = ledger.audit();
+    EXPECT_TRUE(audit.ok()) << audit.summary();
+    // Lifetime attribution survives the swap.
+    EXPECT_EQ(ledger.cause_write_bytes(Cause::kUserData),
+              8u * kSectorSize);
+
+    IoRequest w2 = IoRequest::write(0, pattern_data(4, 2));
+    w2.cause = Cause::kRebuild;
+    ASSERT_TRUE(submit_sync(loop, fresh, std::move(w2)).status.is_ok());
+    EXPECT_TRUE(ledger.audit().ok());
+    EXPECT_EQ(ledger.cause_write_bytes(Cause::kRebuild),
+              4u * kSectorSize);
+}
+
+TEST(LedgerExport, JsonCarriesTotalsAndAuditState)
+{
+    LedgerFixture f;
+    f.ledger.record(0, IoOp::kWrite, Cause::kUserData, 0, 8);
+    std::string json = f.ledger.to_json();
+    EXPECT_NE(json.find("\"waf\""), std::string::npos);
+    EXPECT_NE(json.find("\"raf\""), std::string::npos);
+    EXPECT_NE(json.find("\"causes\""), std::string::npos);
+    // The over-attributed sectors above surface in the export too.
+    EXPECT_NE(json.find("\"audit_ok\": false"), std::string::npos);
+}
+
+TEST(LedgerMetrics, GaugesAndCountersLinkIntoRegistry)
+{
+    LedgerFixture f;
+    obs::MetricsRegistry reg;
+    f.ledger.link_metrics(&reg);
+    f.ledger.record(0, IoOp::kWrite, Cause::kUserData, 0, 100);
+    f.ledger.record(0, IoOp::kWrite, Cause::kParity, 64, 50);
+    f.ledger.note_user_write(100);
+    f.ledger.refresh_gauges();
+
+    std::string json = reg.to_json();
+    EXPECT_NE(json.find("\"ledger.waf_milli\": 1500"),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ledger.cause.parity.write_bytes\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"ledger.user.write_bytes\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace raizn

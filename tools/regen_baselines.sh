@@ -17,13 +17,23 @@ set -euo pipefail
 BUILD_DIR="${1:-build}"
 cd "$(dirname "$0")/.."
 
+BENCHES=(bench_fault_sweep bench_fig12_rebuild
+         bench_fig10_gc_timeseries bench_micro_kernels bench_waf)
+
 if [ ! -d "$BUILD_DIR/bench" ]; then
-    echo "error: $BUILD_DIR/bench not found (build the benches first:" \
-         "cmake --build $BUILD_DIR --target" \
-         "bench_fault_sweep bench_fig12_rebuild" \
-         "bench_fig10_gc_timeseries)" >&2
+    echo "error: $BUILD_DIR/bench not found." >&2
+    echo "Configure and build the bench binaries first:" >&2
+    echo "  cmake -B $BUILD_DIR -S ." >&2
+    echo "  cmake --build $BUILD_DIR -j --target ${BENCHES[*]}" >&2
     exit 1
 fi
+for b in "${BENCHES[@]}"; do
+    if [ ! -x "$BUILD_DIR/bench/$b" ]; then
+        echo "error: $BUILD_DIR/bench/$b missing (build it with:" \
+             "cmake --build $BUILD_DIR -j --target $b)" >&2
+        exit 1
+    fi
+done
 
 echo "== bench_fault_sweep -> BENCH_fault_sweep.json"
 "$BUILD_DIR/bench/bench_fault_sweep" > /dev/null
@@ -38,12 +48,19 @@ echo "== bench_micro_kernels -> BENCH_host_kernels.json"
 "$BUILD_DIR/bench/bench_micro_kernels" \
     --host-baseline BENCH_host_kernels.json > /dev/null
 
+# Also refreshes the per-volume WAF breakdown / zone-churn heatmap
+# CSVs next to the JSON (waf_breakdown_<vol>.csv, waf_heatmap_<vol>.csv,
+# uncommitted CI artifacts).
+echo "== bench_waf -> BENCH_waf.json"
+"$BUILD_DIR/bench/bench_waf" > /dev/null
+
 echo "== self-testing the gate on the fresh baselines"
 python3 tools/bench_gate.py self-test \
     BENCH_fault_sweep.json \
     BENCH_rebuild_mttr.json \
     BENCH_fig10_collapse.json \
-    BENCH_host_kernels.json
+    BENCH_host_kernels.json \
+    BENCH_waf.json
 
 git --no-pager diff --stat -- 'BENCH_*.json' || true
 echo "done; review the diff above before committing."
